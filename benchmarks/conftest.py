@@ -1,0 +1,37 @@
+"""Shared bench fixtures.
+
+Each bench regenerates one table/figure through the memoized experiment
+harness, runs exactly once (the experiments are minutes-scale, not
+microbenchmarks), prints the reproduced rows, and asserts the *shape*
+properties the paper reports (who wins, roughly by how much).
+
+Results are cached on disk (``.repro-cache/``), so re-running the suite
+is fast; delete the cache directory (or set ``REPRO_CACHE=0``) for a
+cold rerun.  ``REPRO_APPS``/``REPRO_TRACE_LEN`` scale the experiments
+down for smoke runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.reporting import format_table
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run an experiment function once under pytest-benchmark timing."""
+
+    def runner(experiment, *args, **kwargs):
+        result = benchmark.pedantic(
+            experiment, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+        print()
+        print(format_table(result["headers"], result["rows"],
+                           title=f"== {experiment.__name__} =="))
+        for key, value in result.items():
+            if key not in ("headers", "rows"):
+                print(f"{key}: {value}")
+        return result
+
+    return runner

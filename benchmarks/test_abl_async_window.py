@@ -1,0 +1,13 @@
+"""Ablation (DESIGN.md §6): decode-pipeline depth (asynchrony window)."""
+
+from repro.harness.experiments import abl_async_window
+
+
+def test_abl_async_window(run_experiment):
+    result = run_experiment(abl_async_window)
+    lru = result["mean_lru_by_delay"]
+    # Deeper decode pipelines cannot make the cache hit more.
+    assert lru[10] >= lru[0] - 0.005
+    # FLACK stays at or below LRU's miss rate at every depth.
+    flack = result["mean_flack_by_delay"]
+    assert all(flack[d] <= lru[d] + 0.005 for d in lru)

@@ -1,0 +1,9 @@
+"""Beyond-the-paper baselines: DRRIP and Hawkeye on the uop cache."""
+
+from repro.harness.experiments import abl_extended_baselines
+
+
+def test_abl_extended_baselines(run_experiment):
+    result = run_experiment(abl_extended_baselines)
+    # Like the Figure 5 policies, these land far below FURBYS.
+    assert result["furbys_beats_extended"]

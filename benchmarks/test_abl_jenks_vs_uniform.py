@@ -1,0 +1,9 @@
+"""Ablation (DESIGN.md §6): Jenks natural breaks vs equal-width bins."""
+
+from repro.harness.experiments import abl_jenks_vs_uniform
+
+
+def test_abl_jenks_vs_uniform(run_experiment):
+    result = run_experiment(abl_jenks_vs_uniform)
+    # Jenks should not lose badly to naive binning.
+    assert result["mean_jenks_advantage"] > -0.03

@@ -1,0 +1,9 @@
+"""Ablation (DESIGN.md §6): the keep-larger rule for overlapping PWs."""
+
+from repro.harness.experiments import abl_keep_larger
+
+
+def test_abl_keep_larger(run_experiment):
+    result = run_experiment(abl_keep_larger)
+    # Losing intermediate exit points should not *reduce* LRU misses.
+    assert result["mean_lru_miss_delta_when_off"] > -0.02

@@ -1,0 +1,10 @@
+"""Ablation (DESIGN.md §6): per-set vs global weight computation."""
+
+from repro.harness.experiments import abl_weight_scope
+
+
+def test_abl_weight_scope(run_experiment):
+    result = run_experiment(abl_weight_scope)
+    # The paper computes weights per set; it should not lose badly to
+    # global scope on any implementation.
+    assert result["mean_per_set_advantage"] > -0.05

@@ -1,0 +1,13 @@
+"""Figure 2: PPW gain of perfect frontend structures."""
+
+from repro.harness.experiments import fig2_perfect_structures
+
+
+def test_fig2_perfect_structures(run_experiment):
+    result = run_experiment(fig2_perfect_structures)
+    gains = result["mean_gains"]
+    # Paper: the perfect micro-op cache yields the largest PPW gain.
+    assert gains["uop_cache"] > 0
+    assert gains["uop_cache"] >= max(
+        gains["icache"], gains["btb"], gains["branch_predictor"]
+    )

@@ -1,0 +1,13 @@
+"""Figure 5: existing replacement policies vs. the FLACK bound."""
+
+from repro.harness.experiments import fig5_existing_policies
+
+
+def test_fig5_existing_policies(run_experiment):
+    result = run_experiment(fig5_existing_policies)
+    means = result["mean_reductions"]
+    # Paper: every existing policy achieves only a fraction of FLACK.
+    for policy, value in means.items():
+        if policy != "flack":
+            assert value < means["flack"], (policy, value)
+    assert means["flack"] > 0.08

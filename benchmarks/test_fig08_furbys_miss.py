@@ -1,0 +1,15 @@
+"""Figure 8: FURBYS miss reduction vs. all baselines."""
+
+from repro.harness.experiments import COMPARISON_POLICIES, fig8_furbys_miss
+
+
+def test_fig8_furbys_miss(run_experiment):
+    result = run_experiment(fig8_furbys_miss)
+    means = result["mean_reductions"]
+    # FURBYS beats every existing online policy on average...
+    for policy in COMPARISON_POLICIES:
+        if policy != "furbys":
+            assert means["furbys"] >= means[policy], (policy, means)
+    # ... and sits between LRU and the FLACK bound (paper: 47% of FLACK).
+    assert 0.15 < result["furbys_fraction_of_flack"] < 0.95
+    assert means["furbys"] > 0.02

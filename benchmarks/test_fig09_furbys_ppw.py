@@ -1,0 +1,11 @@
+"""Figure 9: performance-per-watt gain of FURBYS."""
+
+from repro.harness.experiments import fig9_furbys_ppw
+
+
+def test_fig9_furbys_ppw(run_experiment):
+    result = run_experiment(fig9_furbys_ppw)
+    gains = result["mean_gains"]
+    assert gains["furbys"] > 0
+    for policy in ("srrip", "ship++", "mockingjay", "ghrp"):
+        assert gains["furbys"] >= gains[policy], (policy, gains)

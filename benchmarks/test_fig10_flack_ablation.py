@@ -1,0 +1,16 @@
+"""Figure 10: FLACK feature ablation vs. Belady (perfect icache)."""
+
+from repro.harness.experiments import fig10_flack_ablation
+
+
+def test_fig10_flack_ablation(run_experiment):
+    result = run_experiment(fig10_flack_ablation)
+    means = result["mean_reductions"]
+    # Cumulative features improve monotonically (small slack for noise)...
+    assert means["flack[A]"] > means["foo-ohr"] - 0.02
+    assert means["flack[A+VC]"] > means["flack[A]"] - 0.005
+    # SB's miss benefit is workload-dependent (its main value is
+    # partial-hit serving and bypass energy); allow it to be neutral.
+    assert means["flack[A+VC+SB]"] > means["flack[A+VC]"] - 0.02
+    # ... and full FLACK beats Belady (paper: by 4.46%).
+    assert result["flack_minus_belady"] > 0

@@ -1,0 +1,9 @@
+"""Figure 12: ISO-performance — LRU needs a larger cache to match FURBYS."""
+
+from repro.harness.experiments import fig12_iso_performance
+
+
+def test_fig12_iso_performance(run_experiment):
+    result = run_experiment(fig12_iso_performance)
+    # Paper: LRU needs on average ~1.5x capacity to match FURBYS.
+    assert result["mean_equivalent_scale"] >= 1.2

@@ -1,0 +1,14 @@
+"""Figure 13: per-core energy breakdown on Clang."""
+
+from repro.harness.experiments import fig13_energy_breakdown
+
+
+def test_fig13_energy_breakdown(run_experiment):
+    result = run_experiment(fig13_energy_breakdown)
+    # The no-uop-cache reference spends ~12.5% on the decoder (paper,
+    # cross-checked against [40], [65]).
+    reference = result["rows"][0]
+    assert 0.08 < float(reference[1]) < 0.18
+    # Adding a micro-op cache saves energy; FURBYS saves a bit more.
+    assert result["lru_saving"] > 0
+    assert result["furbys_extra_saving"] > -0.01

@@ -1,0 +1,11 @@
+"""Figure 14: energy-reduction breakdown by structure."""
+
+from repro.harness.experiments import fig14_energy_reduction
+
+
+def test_fig14_energy_reduction(run_experiment):
+    result = run_experiment(fig14_energy_reduction)
+    shares = result["mean_shares"]
+    # Paper: most of the saving comes from fewer micro-op cache
+    # insertions and reduced decoder usage.
+    assert shares["decoder"] + shares["uop_cache"] + shares["icache"] > 0.5

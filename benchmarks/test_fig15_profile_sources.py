@@ -1,0 +1,12 @@
+"""Figure 15: FURBYS trained on Belady / FOO / FLACK decisions."""
+
+from repro.harness.experiments import fig15_profile_sources
+
+
+def test_fig15_profile_sources(run_experiment):
+    result = run_experiment(fig15_profile_sources)
+    means = result["mean_reductions"]
+    # Paper: the FLACK-derived profile is the best training input.
+    assert means["flack"] >= means["belady"] - 0.01
+    assert means["flack"] >= means["foo"] - 0.01
+    assert means["flack"] > 0

@@ -1,0 +1,9 @@
+"""Figure 16: cache size and associativity sensitivity (FURBYS vs GHRP)."""
+
+from repro.harness.experiments import fig16_size_assoc
+
+
+def test_fig16_size_assoc(run_experiment):
+    result = run_experiment(fig16_size_assoc)
+    # Paper: FURBYS outperforms GHRP across all configurations.
+    assert result["mean_gap_over_ghrp"] > 0

@@ -1,0 +1,11 @@
+"""Figure 17: PPW gains under the AMD Zen4 frontend configuration."""
+
+from repro.harness.experiments import fig17_zen4
+
+
+def test_fig17_zen4(run_experiment):
+    result = run_experiment(fig17_zen4)
+    gains = result["mean_gains"]
+    assert gains["furbys"] > 0
+    for policy in ("srrip", "ship++", "mockingjay", "ghrp"):
+        assert gains["furbys"] >= gains[policy], (policy, gains)

@@ -1,0 +1,15 @@
+"""Figure 19: sensitivity to the number of weight-group bits."""
+
+from repro.harness.experiments import fig19_weight_groups
+
+
+def test_fig19_weight_groups(run_experiment):
+    result = run_experiment(fig19_weight_groups)
+    by_bits = result["mean_by_bits"]
+    # Paper: 3 bits is the knee — better than 1 bit, and more bits add
+    # little.
+    assert by_bits[3] > by_bits[1] - 0.005
+    # More bits past the knee never help (in this substrate very wide
+    # hints actively hurt: fine-grained weights override recency).
+    assert by_bits[3] >= by_bits[8] - 0.01
+    assert by_bits[3] >= by_bits[6] - 0.01

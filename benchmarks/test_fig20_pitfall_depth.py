@@ -1,0 +1,12 @@
+"""Figure 20: sensitivity to the local miss-pitfall detector depth."""
+
+from repro.harness.experiments import fig20_pitfall_depth
+
+
+def test_fig20_pitfall_depth(run_experiment):
+    result = run_experiment(fig20_pitfall_depth)
+    by_depth = result["mean_by_depth"]
+    # Paper: depth 2 is the best choice; having a detector beats none.
+    assert by_depth[2] >= by_depth[0]
+    best = max(by_depth.values())
+    assert by_depth[2] >= best - 0.02

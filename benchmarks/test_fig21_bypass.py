@@ -1,0 +1,11 @@
+"""Figure 21: effect of FURBYS's dynamic bypass mechanism."""
+
+from repro.harness.experiments import fig21_bypass
+
+
+def test_fig21_bypass(run_experiment):
+    result = run_experiment(fig21_bypass)
+    # Bypassing helps misses (paper: +4.33%) or is at worst neutral,
+    # and a visible fraction of insertions is bypassed (paper: ~30%).
+    assert result["mean_delta"] > -0.01
+    assert 0.01 < result["mean_bypass_fraction"] < 0.6

@@ -1,0 +1,11 @@
+"""Section III-B: cold/capacity/conflict classification of misses."""
+
+from repro.harness.experiments import miss_classification
+
+
+def test_miss_classification(run_experiment):
+    result = run_experiment(miss_classification)
+    # Paper: capacity misses dominate (88.31%), cold misses are minor.
+    assert result["lru_capacity_fraction"] > result["lru_conflict_fraction"]
+    assert result["lru_capacity_fraction"] > result["lru_cold_fraction"]
+    assert result["lru_cold_fraction"] < 0.20

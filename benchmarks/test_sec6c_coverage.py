@@ -1,0 +1,10 @@
+"""Section VI-C: FURBYS replacement coverage and bypass statistics."""
+
+from repro.harness.experiments import sec6c_coverage
+
+
+def test_sec6c_coverage(run_experiment):
+    result = run_experiment(sec6c_coverage)
+    # Paper: FURBYS selects the victim ~88.7% of the time (the rest is
+    # the SRRIP pitfall fallback).
+    assert 0.6 < result["mean_coverage"] <= 1.0

@@ -1,0 +1,9 @@
+"""Table I: simulation parameters (configuration self-description)."""
+
+from repro.harness.experiments import tab1_parameters
+
+
+def test_tab1_parameters(run_experiment):
+    result = run_experiment(tab1_parameters)
+    labels = [row[0] for row in result["rows"]]
+    assert "Micro-op cache" in labels and "Decoder" in labels

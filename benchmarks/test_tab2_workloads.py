@@ -1,0 +1,13 @@
+"""Table II: the 11 data-center applications and their branch MPKIs."""
+
+from repro.harness.experiments import selected_apps, tab2_workloads
+
+
+def test_tab2_workloads(run_experiment):
+    result = run_experiment(tab2_workloads)
+    assert len(result["rows"]) == len(selected_apps())
+    for row in result["rows"]:
+        target, measured = float(row[2]), float(row[3])
+        # Calibration tolerance: measured MPKI within ~2.5x of Table II.
+        assert measured > 0
+        assert 0.3 < measured / target < 2.5, row

@@ -1,0 +1,176 @@
+"""Assemble EXPERIMENTS.md from a bench log.
+
+Reads the ``== experiment ==`` sections a full
+``pytest benchmarks/ --benchmark-only -s`` run prints, pairs each with
+the corresponding paper-reported numbers, and rewrites the
+MEASURED-PLACEHOLDER section of EXPERIMENTS.md.
+
+Usage::
+
+    python scripts/build_experiments_md.py /tmp/bench_warm3.log
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Paper-reported values per experiment, shown next to the measured
+#: tables.  (section, paper summary, shape expectation)
+PAPER = {
+    "tab1_parameters": (
+        "Table I", "AMD Zen3-like: 6-wide OoO, 4-wide/5-cycle decoder, "
+        "512-entry 8-way uop cache (8 uops/entry, inclusive), 32KiB 8-way L1i.",
+        "configuration is reproduced verbatim"),
+    "tab2_workloads": (
+        "Table II", "11 apps; branch MPKI 0.41 (postgres) ... 5.64 (wordpress).",
+        "per-app MPKI within calibration tolerance, ordering preserved"),
+    "miss_classification": (
+        "Section III-B", "LRU misses: 0.89% cold, 88.31% capacity, 10.8% "
+        "conflict; near-optimal cuts capacity/conflict misses by 23.9%/31.6%.",
+        "capacity-dominated, cold minor, FLACK cuts both"),
+    "fig2_perfect_structures": (
+        "Figure 2", "Perfect uop cache: +7.41% PPW, the largest of all "
+        "frontend structures.",
+        "perfect uop cache is the largest PPW lever"),
+    "fig5_existing_policies": (
+        "Figure 5", "Existing policies reach only a fraction of the "
+        "offline bound; best (GHRP) = 31.52% of FLACK.",
+        "every existing policy ≪ FLACK"),
+    "fig8_furbys_miss": (
+        "Figure 8", "FURBYS: 14.34% average miss reduction = 1.84x GHRP "
+        "(7.81%), 57.85%* of FLACK (*relative to the Fig.-8 FLACK runs).",
+        "FURBYS > every existing policy; a solid fraction of FLACK"),
+    "fig9_furbys_ppw": (
+        "Figure 9", "FURBYS: +3.10% core performance-per-watt, ~5.1x the "
+        "existing policies.",
+        "FURBYS has the largest PPW gain"),
+    "fig10_flack_ablation": (
+        "Figure 10", "FOO < +A < +VC < +SB, full FLACK beats Belady by "
+        "4.46% (30.21% vs 25.75% miss reduction).",
+        "ladder improves cumulatively (SB neutral here); FLACK > Belady "
+        "on every app"),
+    "fig11_ipc": (
+        "Figure 11", "FURBYS: +0.49% IPC = 60% of FLACK, 1.65x GHRP; "
+        "miss reduction only partially translates to IPC.",
+        "small positive IPC, FLACK ≥ FURBYS ≥ baselines"),
+    "fig12_iso_performance": (
+        "Figure 12", "LRU needs ~1.5x capacity on average (2x for "
+        "postgres) to match FURBYS.",
+        "mean ISO scale ≥ ~1.3x, with ≥2x outliers"),
+    "fig13_energy_breakdown": (
+        "Figure 13", "No-uop-cache core: 12.5% decoder + 7.7% icache; "
+        "LRU uop cache saves 8.1%; FURBYS saves another 2.2%.",
+        "fractions in the published ballpark; FURBYS adds savings"),
+    "fig14_energy_reduction": (
+        "Figure 14", "Savings: 73.26% fewer uop-cache insertions, 16.35% "
+        "decoder, 7.75% icache.",
+        "decoder + uop-cache insertions dominate the saving"),
+    "fig15_profile_sources": (
+        "Figure 15", "FLACK-derived profiles beat Belady-derived by "
+        "~3.47% and FOO-derived by ~4.39%.",
+        "FLACK is the best training input"),
+    "fig16_size_assoc": (
+        "Figure 16", "FURBYS > GHRP at every size/associativity; the gap "
+        "shrinks as capacity grows.",
+        "positive FURBYS-GHRP gap across geometries"),
+    "fig17_zen4": (
+        "Figure 17", "Zen4 frontend: FURBYS +2.41% PPW, still the best.",
+        "FURBYS leads under the larger frontend"),
+    "fig18_cross_validation": (
+        "Figure 18", "Cross-input profiles retain 94.34% of same-input "
+        "reductions (13.51% vs 14.34%).",
+        "cross-trained profiles retain most of the benefit"),
+    "fig19_weight_groups": (
+        "Figure 19", "3 hint bits is the knee; more bits add overhead, "
+        "not performance.",
+        "3 bits ≥ 1 bit and ≥ wider hints"),
+    "fig20_pitfall_depth": (
+        "Figure 20", "Detector depth 2 gives the best miss reduction.",
+        "depth 2 at or near the optimum; detector > none"),
+    "fig21_bypass": (
+        "Figure 21", "Bypassing adds 4.33% miss reduction and skips ~30% "
+        "of insertions.",
+        "bypass helps or is neutral; visible bypass fraction"),
+    "fig22_hotness": (
+        "Figure 22", "All policies serve hot PWs (<1% apart); FURBYS "
+        "wins on warm PWs; FLACK's remaining edge is in cold PWs.",
+        "policies converge on hot deciles, diverge on warm/cold"),
+    "sec6c_coverage": (
+        "Section VI-C", "FURBYS selects the victim 88.68% of the time "
+        "(SRRIP fallback the rest).",
+        "coverage high, fallback minority"),
+    "sec7_noninclusive": (
+        "Section VII", "Non-inclusive uop cache lifts FURBYS IPC from "
+        "0.48% to 2.5%.",
+        "non-inclusive ≥ inclusive"),
+    "abl_jenks_vs_uniform": (
+        "(extension)", "Not in the paper: Jenks vs equal-width binning.",
+        "Jenks at least matches naive binning"),
+    "abl_weight_scope": (
+        "(extension)", "Not in the paper: per-set vs global weights "
+        "(the paper computes per set).",
+        "per-set does not lose to global"),
+    "abl_keep_larger": (
+        "(extension)", "Not in the paper: disabling the keep-larger rule.",
+        "losing intermediate exit points does not reduce misses"),
+    "abl_async_window": (
+        "(extension)", "Not in the paper: decode-depth sensitivity.",
+        "deeper pipes cost misses; FLACK stays at/below LRU"),
+    "abl_extended_baselines": (
+        "(extension)", "Not in the paper: DRRIP and Hawkeye baselines.",
+        "both land far below FURBYS, like the Figure 5 policies"),
+}
+
+
+def extract_sections(log_text: str) -> dict[str, str]:
+    sections: dict[str, str] = {}
+    pattern = re.compile(r"^== ([a-z0-9_]+) ==$", re.M)
+    matches = list(pattern.finditer(log_text))
+    for index, match in enumerate(matches):
+        start = match.end()
+        end = matches[index + 1].start() if index + 1 < len(matches) else None
+        body = log_text[start:end] if end else log_text[start:]
+        # Keep the table and summary lines; stop at pytest noise.
+        lines = []
+        for line in body.splitlines():
+            if line.startswith(("F", ".", "=")) and len(line.strip()) <= 2:
+                break
+            if line.startswith(("----------- benchmark", "Legend:")):
+                break
+            lines.append(line.rstrip())
+        sections[match.group(1)] = "\n".join(lines).strip()
+    return sections
+
+
+def build(log_path: Path, experiments_path: Path) -> None:
+    sections = extract_sections(log_path.read_text())
+    parts: list[str] = []
+    for name, (where, paper, shape) in PAPER.items():
+        parts.append(f"## `{name}` — {where}")
+        parts.append("")
+        parts.append(f"**Paper:** {paper}")
+        parts.append(f"**Shape expectation:** {shape}.")
+        parts.append("")
+        measured = sections.get(name)
+        if measured:
+            parts.append("**Measured:**")
+            parts.append("")
+            parts.append("```")
+            parts.append(measured)
+            parts.append("```")
+        else:
+            parts.append("*(not present in the provided bench log)*")
+        parts.append("")
+    text = experiments_path.read_text()
+    text = text.replace("MEASURED-PLACEHOLDER", "\n".join(parts))
+    experiments_path.write_text(text)
+    missing = [n for n in PAPER if n not in sections]
+    print(f"wrote {experiments_path} ({len(PAPER) - len(missing)} sections,"
+          f" missing: {missing or 'none'})")
+
+
+if __name__ == "__main__":
+    log = Path(sys.argv[1] if len(sys.argv) > 1 else "/tmp/bench_warm3.log")
+    build(log, Path(__file__).resolve().parent.parent / "EXPERIMENTS.md")

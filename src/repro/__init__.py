@@ -1,0 +1,74 @@
+"""repro — reproduction of "From Optimal to Practical: Efficient Micro-op
+Cache Replacement Policies for Data Center Applications" (HPCA 2025).
+
+The package provides:
+
+* a behavioural micro-op cache / frontend simulator
+  (:mod:`repro.uopcache`, :mod:`repro.frontend`);
+* the paper's offline near-optimal policy **FLACK** and its ablation
+  ladder (:mod:`repro.offline`), plus Belady and FOO references;
+* the practical profile-guided policy **FURBYS** and the online
+  baselines SRRIP / SHiP++ / GHRP / Mockingjay / Thermometer
+  (:mod:`repro.policies`, :mod:`repro.profiling`);
+* synthetic data-center workloads calibrated to the paper's Table II
+  (:mod:`repro.workloads`);
+* McPAT/CACTI-style power and analytic timing models
+  (:mod:`repro.power`, :mod:`repro.timing`);
+* an experiment harness regenerating every table and figure
+  (:mod:`repro.harness`, ``repro`` CLI).
+
+Quickstart::
+
+    from repro import quick_compare
+    print(quick_compare("kafka", ["lru", "srrip", "furbys", "flack"]))
+"""
+
+from __future__ import annotations
+
+from .config import SimulationConfig, preset, zen3_config, zen4_config
+from .core.pw import PWLookup, StoredPW
+from .core.stats import SimulationStats
+from .core.trace import Trace, TraceMetadata
+from .errors import ReproError
+from .frontend.pipeline import FrontendPipeline
+from .harness.runner import RunRequest, run
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimulationConfig",
+    "preset",
+    "zen3_config",
+    "zen4_config",
+    "PWLookup",
+    "StoredPW",
+    "SimulationStats",
+    "Trace",
+    "TraceMetadata",
+    "ReproError",
+    "FrontendPipeline",
+    "RunRequest",
+    "run",
+    "quick_compare",
+]
+
+
+def quick_compare(app: str, policies: list[str]) -> str:
+    """Simulate several policies on one application and tabulate them."""
+    from .harness.reporting import format_table, percent
+
+    baseline = run(RunRequest(app=app, policy="lru"))
+    rows = []
+    for policy in policies:
+        stats = run(RunRequest(app=app, policy=policy))
+        rows.append((
+            policy,
+            f"{stats.uop_miss_rate:.4f}",
+            percent(stats.miss_reduction_vs(baseline)),
+            f"{stats.bypass_fraction:.2f}",
+        ))
+    return format_table(
+        ("policy", "uop miss rate", "miss reduction vs LRU", "bypass fraction"),
+        rows,
+        title=f"micro-op cache policies on {app!r}",
+    )

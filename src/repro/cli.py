@@ -1,0 +1,90 @@
+"""Command-line interface: regenerate any table or figure.
+
+Examples::
+
+    repro list                 # available experiments
+    repro fig8                 # FURBYS miss-reduction table
+    repro fig10 --apps kafka   # FLACK ablation on one app
+    repro all                  # everything (long)
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from .harness.experiments import EXPERIMENTS
+from .harness.reporting import bar_chart, format_table
+
+
+def _render(name: str) -> str:
+    experiment = EXPERIMENTS[name]
+    started = time.time()
+    result = experiment()
+    elapsed = time.time() - started
+    parts = [format_table(result["headers"], result["rows"],
+                          title=f"== {name} ==")]
+    for key, value in result.items():
+        if key in ("headers", "rows"):
+            continue
+        if (
+            isinstance(value, dict)
+            and value
+            and all(isinstance(v, float) for v in value.values())
+        ):
+            parts.append(bar_chart(
+                [(str(k), v) for k, v in value.items()], title=f"{key}:"
+            ))
+        else:
+            parts.append(f"{key}: {value}")
+    parts.append(f"[{elapsed:.1f}s]")
+    return "\n".join(parts)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the FLACK/FURBYS micro-op cache replacement "
+                    "experiments (HPCA 2025).",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'repro list'), 'list', or 'all'",
+    )
+    parser.add_argument(
+        "--apps",
+        help="comma-separated application subset (sets REPRO_APPS)",
+    )
+    parser.add_argument(
+        "--trace-len", type=int,
+        help="PW lookups per trace (sets REPRO_TRACE_LEN; needs fresh process "
+             "caches to take effect on already-generated traces)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.apps:
+        os.environ["REPRO_APPS"] = args.apps
+    if args.trace_len:
+        os.environ["REPRO_TRACE_LEN"] = str(args.trace_len)
+
+    if args.experiment == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    if args.experiment == "all":
+        for name in EXPERIMENTS:
+            print(_render(name))
+            print()
+        return 0
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; try 'repro list'",
+              file=sys.stderr)
+        return 2
+    print(_render(args.experiment))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

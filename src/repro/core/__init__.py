@@ -1,0 +1,18 @@
+"""Core data model: micro-ops, prediction windows, traces, statistics."""
+
+from .microop import MicroOp
+from .pw import PWLookup, StoredPW, pw_size
+from .trace import Trace, TraceMetadata
+from .stats import AccessOutcome, MissBreakdown, SimulationStats
+
+__all__ = [
+    "MicroOp",
+    "PWLookup",
+    "StoredPW",
+    "pw_size",
+    "Trace",
+    "TraceMetadata",
+    "AccessOutcome",
+    "MissBreakdown",
+    "SimulationStats",
+]

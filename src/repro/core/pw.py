@@ -1,0 +1,132 @@
+"""Prediction windows: the unit of micro-op cache lookups and storage.
+
+A prediction window (PW) starts at the target of a control-flow change
+and ends at a predicted-taken branch or an icache line boundary
+(Section II-B of the paper).  A PW is looked up by its *start address*;
+two dynamic PWs can share a start address but differ in length when the
+terminating conditional branch is sometimes taken and sometimes not
+(Section II-D), which is what makes *partial hits* possible.
+
+Terminology from the paper used throughout this package:
+
+``cost``
+    number of micro-ops in the PW — the penalty (decoder work) of a miss.
+``size``
+    number of micro-op cache entries the PW occupies,
+    ``ceil(cost / uops_per_entry)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import TraceError
+
+
+def pw_size(uops: int, uops_per_entry: int) -> int:
+    """Entries occupied by a PW of ``uops`` micro-ops (its *size*)."""
+    return math.ceil(uops / uops_per_entry)
+
+
+@dataclass(frozen=True, slots=True)
+class PWLookup:
+    """One dynamic micro-op cache lookup.
+
+    Attributes
+    ----------
+    start:
+        Byte address of the first instruction — the cache tag.
+    uops:
+        Micro-ops the frontend needs from this window (the PW *cost*).
+    insts:
+        x86 instructions covered (for IPC accounting).
+    bytes_len:
+        Byte footprint (for icache interaction and inclusivity).
+    terminated_by_branch:
+        True when the window ends on a predicted-taken branch; False when
+        it ends on an icache line boundary.
+    contains_branch:
+        True when any instruction in the window is a branch (terminating
+        or internal not-taken).  Only such PWs can carry FURBYS hints in
+        a branch's reserved bits; the paper notes "most PWs end with a
+        branch or contain at least a branch".
+    mispredicted:
+        True when the terminating branch was mispredicted (used by the
+        timing model to account flush penalties).
+    """
+
+    start: int
+    uops: int
+    insts: int
+    bytes_len: int
+    terminated_by_branch: bool = True
+    contains_branch: bool = True
+    mispredicted: bool = False
+
+    def __post_init__(self) -> None:
+        if self.uops <= 0:
+            raise TraceError(f"PW at {self.start:#x} has no micro-ops")
+        if self.insts <= 0:
+            raise TraceError(f"PW at {self.start:#x} covers no instructions")
+        if self.bytes_len <= 0:
+            raise TraceError(f"PW at {self.start:#x} has no byte footprint")
+
+    def size(self, uops_per_entry: int) -> int:
+        """Number of cache entries this PW occupies."""
+        return pw_size(self.uops, uops_per_entry)
+
+    @property
+    def end(self) -> int:
+        """First byte address past this PW."""
+        return self.start + self.bytes_len
+
+    def overlaps_line(self, line_start: int, line_bytes: int) -> bool:
+        """Whether the PW's byte range intersects an icache line."""
+        return self.start < line_start + line_bytes and line_start < self.end
+
+
+@dataclass(slots=True)
+class StoredPW:
+    """A PW as resident in the micro-op cache.
+
+    Mutable because policies update recency/metadata in place and a
+    partial hit can grow a stored window (keep-larger rule).
+    """
+
+    start: int
+    uops: int
+    insts: int
+    bytes_len: int
+    size: int
+    #: Weight group assigned by FURBYS hints (None when unhinted).
+    weight: int | None = None
+    #: Way slots occupied within the cache set (assigned at insertion);
+    #: ``slots[0]`` is the way id the miss-pitfall detector records.
+    slots: tuple[int, ...] = ()
+
+    @classmethod
+    def from_lookup(cls, lookup: PWLookup, uops_per_entry: int) -> "StoredPW":
+        return cls(
+            start=lookup.start,
+            uops=lookup.uops,
+            insts=lookup.insts,
+            bytes_len=lookup.bytes_len,
+            size=lookup.size(uops_per_entry),
+        )
+
+    @property
+    def end(self) -> int:
+        return self.start + self.bytes_len
+
+    def covers(self, lookup: PWLookup) -> bool:
+        """Whether this stored window fully serves ``lookup``.
+
+        Per AMD's intermediate-exit-point behaviour (Section II-D), a
+        stored window serves any same-start lookup needing at most as
+        many micro-ops.
+        """
+        return self.start == lookup.start and self.uops >= lookup.uops
+
+    def overlaps_line(self, line_start: int, line_bytes: int) -> bool:
+        return self.start < line_start + line_bytes and line_start < self.end

@@ -1,0 +1,167 @@
+"""Simulation statistics and miss accounting.
+
+The paper defines the miss rate at *micro-op* granularity
+(Section II-C): the output of the micro-op cache is a stream of
+micro-ops, so a missed PW costs as many misses as it has micro-ops.
+:class:`SimulationStats` tracks both PW-level and micro-op-level
+counters, plus the activity counters the power model consumes
+(decoder micro-ops, icache accesses, micro-op cache reads/writes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class AccessOutcome(Enum):
+    """Result of one micro-op cache lookup."""
+
+    HIT = "hit"
+    PARTIAL_HIT = "partial_hit"
+    MISS = "miss"
+
+
+class MissClass(Enum):
+    """Classic 3C classification of misses (Section III-B)."""
+
+    COLD = "cold"
+    CAPACITY = "capacity"
+    CONFLICT = "conflict"
+
+
+@dataclass(slots=True)
+class MissBreakdown:
+    """Micro-op misses split by 3C class."""
+
+    cold: int = 0
+    capacity: int = 0
+    conflict: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.cold + self.capacity + self.conflict
+
+    def fraction(self, klass: MissClass) -> float:
+        if self.total == 0:
+            return 0.0
+        return getattr(self, klass.value) / self.total
+
+    def add(self, klass: MissClass, uops: int) -> None:
+        setattr(self, klass.value, getattr(self, klass.value) + uops)
+
+
+@dataclass(slots=True)
+class SimulationStats:
+    """Counters produced by one simulation run.
+
+    The micro-op-level miss rate (``uop_miss_rate``) is the paper's
+    headline metric; ``miss_reduction_vs`` compares two runs the way
+    Figures 5/8/10 do.
+    """
+
+    # --- lookup outcomes (PW granularity) ---
+    lookups: int = 0
+    pw_hits: int = 0
+    pw_partial_hits: int = 0
+    pw_misses: int = 0
+
+    # --- micro-op granularity ---
+    uops_total: int = 0
+    uops_hit: int = 0
+    uops_missed: int = 0
+
+    # --- insertion path ---
+    insertions: int = 0
+    insertion_attempts: int = 0
+    bypasses: int = 0
+    evictions: int = 0
+    evicted_entries: int = 0
+    inclusive_invalidations: int = 0
+
+    # --- instruction stream (timing / power inputs) ---
+    instructions: int = 0
+    branches: int = 0
+    mispredictions: int = 0
+    #: Frontend switches between micro-op cache and legacy decode path.
+    path_switches: int = 0
+
+    # --- structure activity (power-model inputs) ---
+    icache_accesses: int = 0
+    icache_misses: int = 0
+    decoder_uops: int = 0
+    uop_cache_reads: int = 0
+    uop_cache_writes: int = 0
+    btb_accesses: int = 0
+    btb_misses: int = 0
+
+    # --- replacement-policy introspection (Section VI-C) ---
+    policy_victim_selections: int = 0
+    fallback_victim_selections: int = 0
+
+    miss_breakdown: MissBreakdown = field(default_factory=MissBreakdown)
+
+    @property
+    def uop_miss_rate(self) -> float:
+        """Missed micro-ops / total micro-ops (the paper's metric)."""
+        if self.uops_total == 0:
+            return 0.0
+        return self.uops_missed / self.uops_total
+
+    @property
+    def uop_hit_rate(self) -> float:
+        return 1.0 - self.uop_miss_rate
+
+    @property
+    def pw_miss_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return (self.pw_misses + self.pw_partial_hits) / self.lookups
+
+    @property
+    def bypass_fraction(self) -> float:
+        """Fraction of insertion attempts that were bypassed."""
+        if self.insertion_attempts == 0:
+            return 0.0
+        return self.bypasses / self.insertion_attempts
+
+    @property
+    def policy_coverage(self) -> float:
+        """Fraction of victim selections made by the primary policy.
+
+        For FURBYS this is the replacement-coverage statistic of
+        Section VI-C (~88.7% in the paper, remainder from the SRRIP
+        pitfall fallback).
+        """
+        total = self.policy_victim_selections + self.fallback_victim_selections
+        if total == 0:
+            return 1.0
+        return self.policy_victim_selections / total
+
+    def miss_reduction_vs(self, baseline: "SimulationStats") -> float:
+        """Relative micro-op miss reduction against a baseline run.
+
+        Positive values mean fewer misses than the baseline; e.g. 0.14
+        reproduces the paper's "14.34% miss reduction over LRU".
+        """
+        if baseline.uops_missed == 0:
+            return 0.0
+        return 1.0 - self.uops_missed / baseline.uops_missed
+
+    def merge(self, other: "SimulationStats") -> None:
+        """Accumulate another run's counters into this one (in place)."""
+        for name in (
+            "lookups", "pw_hits", "pw_partial_hits", "pw_misses",
+            "uops_total", "uops_hit", "uops_missed",
+            "insertions", "insertion_attempts", "bypasses",
+            "evictions", "evicted_entries", "inclusive_invalidations",
+            "instructions", "branches", "mispredictions", "path_switches",
+            "icache_accesses", "icache_misses", "decoder_uops",
+            "uop_cache_reads", "uop_cache_writes",
+            "btb_accesses", "btb_misses",
+            "policy_victim_selections", "fallback_victim_selections",
+        ):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.miss_breakdown.cold += other.miss_breakdown.cold
+        self.miss_breakdown.capacity += other.miss_breakdown.capacity
+        self.miss_breakdown.conflict += other.miss_breakdown.conflict

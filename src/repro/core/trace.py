@@ -1,0 +1,186 @@
+"""Trace containers and (de)serialization.
+
+A :class:`Trace` is the simulated analogue of an Intel PT recording
+(STEP 1 of the FURBYS procedure, Figure 6): the dynamic sequence of
+prediction-window lookups the frontend issues, plus enough metadata to
+drive the timing and power models.
+
+Traces serialize to a simple line-oriented text format so they can be
+saved, shipped, and diffed — mirroring the artifact's
+``datacenterTrace`` directory:
+
+.. code-block:: text
+
+    #repro-trace v1
+    #app=kafka input=default instructions=123456
+    start uops insts bytes branch mispred
+    40001000 6 5 24 1 0
+    ...
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import TraceError
+from .pw import PWLookup
+
+_HEADER = "#repro-trace v1"
+
+
+@dataclass(frozen=True, slots=True)
+class TraceMetadata:
+    """Provenance of a trace: which app, which input, how it was made."""
+
+    app: str = "unknown"
+    input_name: str = "default"
+    seed: int = 0
+    description: str = ""
+
+
+@dataclass(slots=True)
+class Trace:
+    """A dynamic PW lookup sequence with provenance metadata."""
+
+    lookups: list[PWLookup]
+    metadata: TraceMetadata = field(default_factory=TraceMetadata)
+
+    def __len__(self) -> int:
+        return len(self.lookups)
+
+    def __iter__(self) -> Iterator[PWLookup]:
+        return iter(self.lookups)
+
+    def __getitem__(self, index: int) -> PWLookup:
+        return self.lookups[index]
+
+    # --- derived properties -------------------------------------------------
+
+    @property
+    def total_uops(self) -> int:
+        return sum(pw.uops for pw in self.lookups)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(pw.insts for pw in self.lookups)
+
+    @property
+    def total_branches(self) -> int:
+        return sum(1 for pw in self.lookups if pw.terminated_by_branch)
+
+    @property
+    def total_mispredictions(self) -> int:
+        return sum(1 for pw in self.lookups if pw.mispredicted)
+
+    @property
+    def branch_mpki(self) -> float:
+        """Branches per kilo-instruction — comparable to Table II."""
+        insts = self.total_instructions
+        if insts == 0:
+            return 0.0
+        return 1000.0 * self.total_branches / insts
+
+    def unique_starts(self) -> set[int]:
+        """Distinct PW start addresses (static code footprint in PWs)."""
+        return {pw.start for pw in self.lookups}
+
+    def slice(self, start: int, stop: int | None = None) -> "Trace":
+        """A sub-trace sharing metadata (useful for warmup splits)."""
+        return Trace(self.lookups[start:stop], self.metadata)
+
+    # --- serialization -------------------------------------------------------
+
+    def dump(self, stream: io.TextIOBase) -> None:
+        """Write the trace in the v1 text format."""
+        meta = self.metadata
+        stream.write(f"{_HEADER}\n")
+        stream.write(
+            f"#app={meta.app} input={meta.input_name} seed={meta.seed}\n"
+        )
+        stream.write("start uops insts bytes branch contbr mispred\n")
+        for pw in self.lookups:
+            stream.write(
+                f"{pw.start:x} {pw.uops} {pw.insts} {pw.bytes_len} "
+                f"{int(pw.terminated_by_branch)} {int(pw.contains_branch)} "
+                f"{int(pw.mispredicted)}\n"
+            )
+
+    def save(self, path: str | Path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            self.dump(handle)
+
+    @classmethod
+    def parse(cls, stream: Iterable[str]) -> "Trace":
+        """Read a trace in the v1 text format."""
+        lines = iter(stream)
+        try:
+            header = next(lines).rstrip("\n")
+        except StopIteration:
+            raise TraceError("empty trace stream") from None
+        if header != _HEADER:
+            raise TraceError(f"bad trace header: {header!r}")
+        meta = TraceMetadata()
+        try:
+            meta_line = next(lines).rstrip("\n")
+        except StopIteration:
+            raise TraceError("trace truncated before metadata") from None
+        if meta_line.startswith("#"):
+            fields = dict(
+                part.split("=", 1)
+                for part in meta_line.lstrip("#").split()
+                if "=" in part
+            )
+            meta = TraceMetadata(
+                app=fields.get("app", "unknown"),
+                input_name=fields.get("input", "default"),
+                seed=int(fields.get("seed", "0")),
+            )
+            try:
+                next(lines)  # column header line
+            except StopIteration:
+                raise TraceError("trace truncated before column header") from None
+        lookups: list[PWLookup] = []
+        for lineno, line in enumerate(lines, start=4):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) not in (6, 7):
+                raise TraceError(f"line {lineno}: expected 6-7 fields, got {len(parts)}")
+            try:
+                terminated = bool(int(parts[4]))
+                if len(parts) == 7:
+                    contains = bool(int(parts[5]))
+                    mispredicted = bool(int(parts[6]))
+                else:  # legacy 6-field rows: infer from termination
+                    contains = terminated
+                    mispredicted = bool(int(parts[5]))
+                lookups.append(
+                    PWLookup(
+                        start=int(parts[0], 16),
+                        uops=int(parts[1]),
+                        insts=int(parts[2]),
+                        bytes_len=int(parts[3]),
+                        terminated_by_branch=terminated,
+                        contains_branch=contains,
+                        mispredicted=mispredicted,
+                    )
+                )
+            except ValueError as exc:
+                raise TraceError(f"line {lineno}: {exc}") from exc
+        return cls(lookups, meta)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.parse(handle)
+
+    @classmethod
+    def from_lookups(
+        cls, lookups: Sequence[PWLookup], app: str = "synthetic"
+    ) -> "Trace":
+        """Convenience constructor used heavily by tests."""
+        return cls(list(lookups), TraceMetadata(app=app))

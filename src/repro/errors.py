@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this package derives from :class:`ReproError` so
+callers can catch package failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A simulation or workload configuration is inconsistent.
+
+    Examples: a prediction window larger than its cache set, a zero-way
+    cache with a non-zero entry count, or an unknown preset name.
+    """
+
+
+class TraceError(ReproError):
+    """A trace file or in-memory trace is malformed."""
+
+
+class UnknownWorkloadError(ReproError):
+    """The requested application is not in the workload registry."""
+
+
+class UnknownPolicyError(ReproError):
+    """The requested replacement policy is not registered."""
+
+
+class OfflinePolicyError(ReproError):
+    """An offline policy received inconsistent future information."""
+
+
+class FlowError(ReproError):
+    """The min-cost-flow solver was given an infeasible problem."""
+
+
+class ProfilingError(ReproError):
+    """The FURBYS profiling pipeline was misused.
+
+    Raised, for example, when hints are requested before the profiling
+    steps that produce them have run.
+    """

@@ -1,0 +1,15 @@
+"""Frontend substrate: icache, branch structures, decoder, pipeline."""
+
+from .accumulator import Accumulator
+from .branch import BranchTargetBuffer
+from .decoder import LegacyDecoder
+from .icache import InstructionCache
+from .pipeline import FrontendPipeline
+
+__all__ = [
+    "Accumulator",
+    "BranchTargetBuffer",
+    "LegacyDecoder",
+    "InstructionCache",
+    "FrontendPipeline",
+]

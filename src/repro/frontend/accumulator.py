@@ -1,0 +1,56 @@
+"""Accumulation buffer: forms PWs for insertion and attaches hints.
+
+The legacy decode path deposits decoded micro-ops into the accumulation
+buffer until the PW terminates, then hands the assembled window to the
+micro-op cache for insertion (Section II-B).  In FURBYS deployments the
+decoder extracts the 3-bit weight-group hint from the terminating
+branch's reserved bits; the accumulator "retains the first group tag
+within the PW" and forwards it with the window (Section V-B).
+
+In this trace-driven reproduction the PW contents are already known, so
+the accumulator's job reduces to hint attachment and insertion-request
+construction — but it is kept as an explicit stage so the FURBYS
+dataflow (decoder → accumulator → micro-op cache) matches Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.pw import PWLookup
+
+
+@dataclass(frozen=True, slots=True)
+class InsertionRequest:
+    """A fully accumulated PW ready for micro-op cache insertion."""
+
+    lookup: PWLookup
+    #: FURBYS weight group (None when the binary carries no hint for it).
+    weight: int | None
+    #: Simulator time at which the decode completes and insertion fires.
+    due: int
+
+
+class Accumulator:
+    """Builds insertion requests from decoded PWs.
+
+    ``hints`` maps PW start address to a weight group; only
+    branch-terminated PWs can carry hints (the encoding lives in branch
+    instructions' reserved bits), mirroring the paper's deployment
+    constraint.
+    """
+
+    def __init__(self, hints: dict[int, int] | None = None) -> None:
+        self._hints = hints or {}
+        self.accumulated = 0
+
+    def accumulate(self, lookup: PWLookup, now: int, delay: int) -> InsertionRequest:
+        """Assemble the insertion request for a decoded PW."""
+        self.accumulated += 1
+        weight: int | None = None
+        if lookup.contains_branch:
+            weight = self._hints.get(lookup.start)
+        return InsertionRequest(lookup=lookup, weight=weight, due=now + delay)
+
+    def has_hints(self) -> bool:
+        return bool(self._hints)

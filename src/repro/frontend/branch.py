@@ -1,0 +1,56 @@
+"""Branch structures: a BTB model.
+
+Branch *outcomes* (taken / not-taken and mispredictions) are carried by
+the trace itself, following the paper's trace-driven methodology — the
+generator models a TAGE-SC-L-class predictor through per-branch
+misprediction rates calibrated to each application's Table II MPKI.
+What remains to model online is the BTB: branch-terminated PWs access
+it, and a BTB miss causes a frontend resteer that the timing model
+charges like a misprediction bubble.  A perfect BTB (Figure 2) simply
+never misses.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..config import BranchPredictorConfig
+
+
+class BranchTargetBuffer:
+    """Set-associative LRU BTB keyed by branch PC."""
+
+    def __init__(self, config: BranchPredictorConfig) -> None:
+        self.config = config
+        if config.btb_entries % config.btb_ways != 0:
+            sets = max(1, config.btb_entries // config.btb_ways)
+        else:
+            sets = config.btb_entries // config.btb_ways
+        self._n_sets = sets
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(sets)
+        ]
+        self.accesses = 0
+        self.misses = 0
+
+    def access(self, branch_pc: int) -> bool:
+        """Access the BTB for a branch; returns True on hit.
+
+        A miss allocates the entry (next execution hits).
+        """
+        self.accesses += 1
+        cset = self._sets[(branch_pc >> 2) % self._n_sets]
+        if branch_pc in cset:
+            cset.move_to_end(branch_pc)
+            return True
+        self.misses += 1
+        if len(cset) >= self.config.btb_ways:
+            cset.popitem(last=False)
+        cset[branch_pc] = None
+        return False
+
+    @property
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses

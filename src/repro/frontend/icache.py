@@ -1,0 +1,75 @@
+"""L1 instruction cache model.
+
+A plain set-associative LRU cache of 64-byte lines.  Its only jobs here
+are (a) activity accounting for the power model (the legacy decode path
+reads the icache; the micro-op cache path clock-gates it) and (b)
+driving *inclusive* invalidations of the micro-op cache: per the paper's
+Section II-A, "every icache eviction will trigger the eviction of
+corresponding items in the micro-op cache".
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..config import ICacheConfig
+
+
+class InstructionCache:
+    """Set-associative LRU icache tracking line residency."""
+
+    def __init__(self, config: ICacheConfig) -> None:
+        self.config = config
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(config.sets)
+        ]
+        self.accesses = 0
+        self.misses = 0
+
+    def _set_for(self, line: int) -> OrderedDict[int, None]:
+        return self._sets[line % self.config.sets]
+
+    def access_line(self, line_addr: int) -> int | None:
+        """Access one line (by byte address of line start).
+
+        Returns the byte address of an evicted line when the fill
+        displaced one, else None.  Hits refresh LRU position.
+        """
+        line = line_addr // self.config.line_bytes
+        cset = self._set_for(line)
+        self.accesses += 1
+        if line in cset:
+            cset.move_to_end(line)
+            return None
+        self.misses += 1
+        evicted: int | None = None
+        if len(cset) >= self.config.ways:
+            victim_line, _ = cset.popitem(last=False)
+            evicted = victim_line * self.config.line_bytes
+        cset[line] = None
+        return evicted
+
+    def access_range(self, start: int, end: int) -> list[int]:
+        """Access every line covering ``[start, end)``.
+
+        Returns the evicted line addresses (possibly empty).
+        """
+        line_bytes = self.config.line_bytes
+        first = start // line_bytes
+        last = max(first, (end - 1) // line_bytes)
+        evicted: list[int] = []
+        for line in range(first, last + 1):
+            victim = self.access_line(line * line_bytes)
+            if victim is not None:
+                evicted.append(victim)
+        return evicted
+
+    def contains(self, line_addr: int) -> bool:
+        line = line_addr // self.config.line_bytes
+        return line in self._set_for(line)
+
+    @property
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses

@@ -1,0 +1,6 @@
+"""Experiment harness: memoized runs, figure/table experiments, reports."""
+
+from .runner import RunRequest, run
+from .reporting import format_table, percent
+
+__all__ = ["RunRequest", "run", "format_table", "percent"]

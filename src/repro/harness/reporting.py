@@ -1,0 +1,84 @@
+"""Plain-text rendering of experiment results.
+
+Each experiment returns rows of plain Python values; these helpers
+render them as aligned ASCII tables, which is what the benches print
+(the paper's figures, as rows/series).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def percent(value: float, digits: int = 2) -> str:
+    """Format a ratio as a signed percentage string."""
+    return f"{value * 100:+.{digits}f}%"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def bar_chart(
+    items: Sequence[tuple[str, float]],
+    *,
+    width: int = 44,
+    unit: str = "%",
+    scale: float = 100.0,
+    title: str | None = None,
+) -> str:
+    """Render labelled values as a horizontal ASCII bar chart.
+
+    Negative values draw left of the axis.  ``scale`` converts raw
+    values into the displayed unit (default: ratios → percent), so the
+    mean-gain dictionaries the experiments return plot directly::
+
+        bar_chart(sorted(result["mean_reductions"].items()))
+    """
+    if not items:
+        return title or ""
+    label_width = max(len(label) for label, _ in items)
+    magnitude = max(abs(value) for _, value in items) or 1.0
+    lines = [title] if title else []
+    for label, value in items:
+        length = round(abs(value) / magnitude * width)
+        bar = ("-" if value < 0 else "#") * length
+        lines.append(
+            f"{label.ljust(label_width)} | {bar} {value * scale:+.2f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (used for speedup summaries)."""
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

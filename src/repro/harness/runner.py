@@ -1,0 +1,268 @@
+"""Memoized simulation runner: one entry point for every experiment.
+
+Every figure/table bench expresses its work as :class:`RunRequest`
+objects and calls :func:`run`.  Results are memoized in-process and on
+disk (``.repro-cache/`` at the repository/working directory), because
+the figures share most of their runs — every figure needs the per-app
+LRU baseline, several share the default FURBYS deployment, and so on.
+Set ``REPRO_CACHE=0`` to disable the disk layer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..config import SimulationConfig, preset
+from ..core.stats import MissBreakdown, SimulationStats
+from ..core.trace import Trace
+from ..errors import UnknownPolicyError
+from ..frontend.pipeline import FrontendPipeline
+from ..offline.belady import BeladyPolicy
+from ..offline.flack import FLACKPolicy
+from ..offline.foo import FOOPolicy
+from ..policies import make_policy, online_policy_names
+from ..policies.furbys import FurbysPolicy
+from ..policies.thermometer import ThermometerPolicy
+from ..profiling import FurbysProfile, profile_application
+from ..profiling.hitrate import three_class_profile
+from ..workloads.registry import DEFAULT_TRACE_LEN, get_trace
+
+#: Names accepted by RunRequest.policy, beyond the online registry.
+OFFLINE_POLICIES = (
+    "belady", "foo-ohr", "foo-bhr",
+    "flack", "flack[foo]", "flack[A]", "flack[A+VC]", "flack[A+VC+SB]",
+)
+PROFILE_POLICIES = ("furbys", "thermometer")
+
+
+@dataclass(frozen=True, slots=True)
+class RunRequest:
+    """One fully specified simulation."""
+
+    app: str
+    policy: str = "lru"
+    input_name: str = "default"
+    config: str = "zen3"
+    #: Structures made perfect (Figure 2): subset of
+    #: ("uop_cache", "icache", "btb", "branch_predictor").
+    perfect: tuple[str, ...] = ()
+    #: Micro-op cache geometry overrides (None = preset values).
+    cache_entries: int | None = None
+    cache_ways: int | None = None
+    insertion_delay: int | None = None
+    inclusive: bool = True
+    keep_larger: bool = True
+    trace_len: int | None = None
+    warmup: int | None = None
+    classify_misses: bool = False
+    # --- profile-guided policy inputs ---
+    profile_source: str = "flack"
+    #: Training inputs for the profile (FURBYS / Thermometer); empty
+    #: means "profile on the evaluated input" (the paper's main setup).
+    profile_inputs: tuple[str, ...] = ()
+    hint_bits: int = 3
+    weight_scope: str = "per_set"
+    furbys_bypass: bool = True
+    furbys_pitfall_depth: int = 2
+
+    def resolved_trace_len(self) -> int:
+        return self.trace_len if self.trace_len is not None else DEFAULT_TRACE_LEN
+
+    def resolved_warmup(self) -> int:
+        if self.warmup is not None:
+            return self.warmup
+        return self.resolved_trace_len() // 3
+
+    def build_config(self) -> SimulationConfig:
+        config = preset(self.config)
+        changes: dict[str, object] = {}
+        if self.cache_entries is not None:
+            changes["entries"] = self.cache_entries
+        if self.cache_ways is not None:
+            changes["ways"] = self.cache_ways
+        if self.insertion_delay is not None:
+            changes["insertion_delay"] = self.insertion_delay
+        if not self.inclusive:
+            changes["inclusive_with_icache"] = False
+        if not self.keep_larger:
+            changes["keep_larger"] = False
+        if changes:
+            config = config.with_uop_cache(**changes)
+        for structure in self.perfect:
+            config = config.with_perfect(structure)
+        return config
+
+    def cache_key(self) -> str:
+        payload = dataclasses.asdict(self)
+        # Resolve environment-dependent defaults so a cached result is
+        # only reused for the exact trace geometry it was computed on
+        # (REPRO_TRACE_LEN changes must not serve stale entries).
+        payload["trace_len"] = self.resolved_trace_len()
+        payload["warmup"] = self.resolved_warmup()
+        text = json.dumps(payload, sort_keys=True, default=list)
+        return hashlib.sha256(text.encode()).hexdigest()[:24]
+
+
+@dataclass(slots=True)
+class RunResult:
+    """Stats plus the request that produced them."""
+
+    request: RunRequest
+    stats: SimulationStats
+
+    def to_json(self) -> dict:
+        stats = dataclasses.asdict(self.stats)
+        return {"request": dataclasses.asdict(self.request), "stats": stats}
+
+    @classmethod
+    def stats_from_json(cls, payload: dict) -> SimulationStats:
+        raw = dict(payload["stats"])
+        breakdown = MissBreakdown(**raw.pop("miss_breakdown"))
+        return SimulationStats(miss_breakdown=breakdown, **raw)
+
+
+# --- caches -----------------------------------------------------------------
+
+_memory_cache: dict[str, SimulationStats] = {}
+_profile_cache: dict[str, FurbysProfile] = {}
+_thermo_cache: dict[str, dict[int, int]] = {}
+
+
+def _disk_cache_dir() -> Path | None:
+    if os.environ.get("REPRO_CACHE", "1") == "0":
+        return None
+    root = Path(os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
+    try:
+        root.mkdir(parents=True, exist_ok=True)
+    except OSError:
+        return None
+    return root
+
+
+def clear_memory_cache() -> None:
+    """Drop in-process memoized results (tests use this)."""
+    _memory_cache.clear()
+    _profile_cache.clear()
+    _thermo_cache.clear()
+
+
+# --- policy construction -----------------------------------------------------
+
+def _profile_for(request: RunRequest, config: SimulationConfig) -> FurbysProfile:
+    inputs = request.profile_inputs or (request.input_name,)
+    key = json.dumps(
+        [request.app, sorted(inputs), request.profile_source, request.hint_bits,
+         request.weight_scope, request.config, request.cache_entries,
+         request.cache_ways, request.inclusive, request.resolved_trace_len(),
+         list(request.perfect)],
+        sort_keys=False,
+    )
+    cached = _profile_cache.get(key)
+    if cached is not None:
+        return cached
+    profiles = [
+        profile_application(
+            get_trace(request.app, name, request.resolved_trace_len()),
+            config,
+            source=request.profile_source,
+            n_bits=request.hint_bits,
+            scope=request.weight_scope,
+        )
+        for name in inputs
+    ]
+    profile = profiles[0] if len(profiles) == 1 else profiles[0].merged_with(
+        *profiles[1:]
+    )
+    _profile_cache[key] = profile
+    return profile
+
+
+def _build_policy_and_hints(
+    request: RunRequest, config: SimulationConfig, trace: Trace
+):
+    name = request.policy
+    if name in online_policy_names():
+        return make_policy(name), None
+    if name == "belady":
+        return BeladyPolicy(trace), None
+    if name in ("foo-ohr", "foo-bhr"):
+        return FOOPolicy(trace, config.uop_cache, objective=name[-3:]), None
+    if name.startswith("flack"):
+        flags = dict(async_aware=True, variable_cost=True, selective_bypass=True)
+        if name.startswith("flack[") and name.endswith("]"):
+            feature_set = name[6:-1]
+            flags = dict(
+                async_aware="A" in feature_set.split("+"),
+                variable_cost="VC" in feature_set.split("+"),
+                selective_bypass="SB" in feature_set.split("+"),
+            )
+            if feature_set == "foo":
+                flags = dict(
+                    async_aware=False, variable_cost=False, selective_bypass=False
+                )
+        return FLACKPolicy(trace, config.uop_cache, **flags), None
+    if name == "furbys":
+        profile = _profile_for(request, config)
+        policy = FurbysPolicy(
+            bypass_enabled=request.furbys_bypass,
+            pitfall_depth=request.furbys_pitfall_depth,
+        )
+        return policy, profile.hints
+    if name == "thermometer":
+        inputs = request.profile_inputs or (request.input_name,)
+        key = json.dumps([request.app, sorted(inputs), request.config,
+                          request.cache_entries, request.cache_ways,
+                          request.resolved_trace_len(), list(request.perfect)])
+        classes = _thermo_cache.get(key)
+        if classes is None:
+            classes = three_class_profile(
+                get_trace(request.app, inputs[0], request.resolved_trace_len()),
+                config,
+                source=request.profile_source,
+            )
+            _thermo_cache[key] = classes
+        return ThermometerPolicy(classes), None
+    raise UnknownPolicyError(
+        f"unknown policy {request.policy!r}; online={online_policy_names()}, "
+        f"offline={OFFLINE_POLICIES}, profile-guided={PROFILE_POLICIES}"
+    )
+
+
+# --- the runner -----------------------------------------------------------------
+
+def run(request: RunRequest) -> SimulationStats:
+    """Execute (or recall) one simulation."""
+    key = request.cache_key()
+    cached = _memory_cache.get(key)
+    if cached is not None:
+        return cached
+
+    disk = _disk_cache_dir()
+    if disk is not None:
+        path = disk / f"{key}.json"
+        if path.exists():
+            try:
+                stats = RunResult.stats_from_json(json.loads(path.read_text()))
+                _memory_cache[key] = stats
+                return stats
+            except (ValueError, KeyError, TypeError):
+                path.unlink(missing_ok=True)
+
+    config = request.build_config()
+    trace = get_trace(request.app, request.input_name, request.resolved_trace_len())
+    policy, hints = _build_policy_and_hints(request, config, trace)
+    pipeline = FrontendPipeline(
+        config, policy, hints=hints, classify_misses=request.classify_misses
+    )
+    stats = pipeline.run(trace, warmup=request.resolved_warmup())
+
+    _memory_cache[key] = stats
+    if disk is not None:
+        result = RunResult(request, stats)
+        (disk / f"{key}.json").write_text(json.dumps(result.to_json()))
+    return stats

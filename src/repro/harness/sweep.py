@@ -1,0 +1,76 @@
+"""Parameter-sweep helpers over the memoized runner.
+
+Thin conveniences used by the ISO-performance (Figure 12) and
+size/associativity (Figure 16) studies and by downstream scripts that
+want "policy X across geometries" without writing the request loops by
+hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable
+
+from ..core.stats import SimulationStats
+from .runner import RunRequest, run
+
+
+def capacity_sweep(
+    app: str,
+    policy: str,
+    entry_counts: Iterable[int],
+    *,
+    base: RunRequest | None = None,
+) -> dict[int, SimulationStats]:
+    """Run one policy across micro-op cache capacities."""
+    template = base or RunRequest(app=app, policy=policy)
+    template = replace(template, app=app, policy=policy)
+    return {
+        entries: run(replace(template, cache_entries=entries))
+        for entries in entry_counts
+    }
+
+
+def associativity_sweep(
+    app: str,
+    policy: str,
+    way_counts: Iterable[int],
+    *,
+    base: RunRequest | None = None,
+) -> dict[int, SimulationStats]:
+    """Run one policy across micro-op cache associativities."""
+    template = base or RunRequest(app=app, policy=policy)
+    template = replace(template, app=app, policy=policy)
+    return {
+        ways: run(replace(template, cache_ways=ways))
+        for ways in way_counts
+    }
+
+
+def iso_capacity(
+    app: str,
+    reference_policy: str = "furbys",
+    baseline_policy: str = "lru",
+    scales: Iterable[float] = (1.25, 1.5, 1.75, 2.0),
+    *,
+    base_entries: int = 512,
+    ways: int = 8,
+    trace_len: int | None = None,
+) -> float | None:
+    """Smallest capacity scale at which the baseline matches the policy.
+
+    Returns None when even the largest sweep point falls short (the
+    paper's Postgres case: FURBYS beats LRU at 2x capacity).
+    """
+    baseline = run(RunRequest(app=app, policy=baseline_policy,
+                              trace_len=trace_len))
+    reference = run(RunRequest(app=app, policy=reference_policy,
+                               trace_len=trace_len))
+    target = reference.miss_reduction_vs(baseline)
+    for scale in sorted(scales):
+        entries = round(base_entries * scale / ways) * ways
+        scaled = run(RunRequest(app=app, policy=baseline_policy,
+                                cache_entries=entries, trace_len=trace_len))
+        if scaled.miss_reduction_vs(baseline) >= target:
+            return scale
+    return None

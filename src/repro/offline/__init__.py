@@ -1,0 +1,35 @@
+"""Offline (future-knowledge) replacement policies.
+
+* :class:`~repro.offline.belady.BeladyPolicy` — Belady's MIN adapted to
+  insertion-time decisions (Section III-C);
+* :class:`~repro.offline.foo.FOOPolicy` — flow-based offline optimal
+  with OHR/BHR objectives (Section III-D);
+* :class:`~repro.offline.flack.FLACKPolicy` — the paper's near-optimal
+  policy: FOO extended with variable costs, selective bypass for
+  partial hits and asynchrony awareness (Section IV), with feature
+  flags matching the Figure 10 ablation.
+
+All of them are :class:`~repro.uopcache.replacement.ReplacementPolicy`
+implementations replayed through the same behavioural simulator as the
+online policies, so miss accounting is identical across the comparison.
+"""
+
+from .base import IdentityMode, OfflineReplayPolicy, ValueMetric
+from .belady import BeladyPolicy
+from .flack import FLACKPolicy
+from .foo import FOOPolicy
+from .intervals import Interval, extract_intervals
+from .plan import AdmissionPlan, greedy_admission
+
+__all__ = [
+    "IdentityMode",
+    "OfflineReplayPolicy",
+    "ValueMetric",
+    "BeladyPolicy",
+    "FLACKPolicy",
+    "FOOPolicy",
+    "Interval",
+    "extract_intervals",
+    "AdmissionPlan",
+    "greedy_admission",
+]

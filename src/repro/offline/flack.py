@@ -1,0 +1,96 @@
+"""FLACK: the paper's offline near-optimal micro-op cache policy.
+
+FLACK (FOO-based seLectively-bypassing Asynchronizing Cost-varying
+selective-data-Keeping, Section IV) extends FOO with three features,
+each independently toggleable to reproduce the Figure 10 ablation:
+
+``async_aware`` ("A")
+    Lazy eviction and late-insertion safeguarding: plan admission knows
+    windows only become resident ``insertion_delay`` lookups after the
+    miss, and insertion-time decisions re-check the future at the
+    *actual* insertion time, bypassing windows whose reuse already
+    raced past in the decode pipe.
+``variable_cost`` ("VC")
+    Unit cost becomes cost/size — the number of micro-ops per occupied
+    entry — so a 4-uop single-entry window outranks a 1-uop one
+    (Figure 3).
+``selective_bypass`` ("SB")
+    Same-start windows chain into one object so partial hits earn their
+    served micro-ops, larger windows are preferred on upgrade, and
+    plan-bypassed windows are still kept when capacity is spare and a
+    nearby same-start use exists (Figure 4).
+
+With all three enabled this is the FLACK configuration evaluated in the
+paper; :func:`flack_ablation_suite` yields the Figure 10 ladder.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..config import UopCacheConfig
+from ..core.trace import Trace
+from .base import OfflineReplayPolicy
+
+
+class FLACKPolicy(OfflineReplayPolicy):
+    """FLACK with Figure 10 feature flags (all on by default)."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        config: UopCacheConfig,
+        *,
+        async_aware: bool = True,
+        variable_cost: bool = True,
+        selective_bypass: bool = True,
+        set_index_fn: Callable[[int, int], int] | None = None,
+        name: str | None = None,
+    ) -> None:
+        if name is None:
+            if async_aware and variable_cost and selective_bypass:
+                name = "flack"
+            else:
+                parts = [
+                    label
+                    for flag, label in (
+                        (async_aware, "A"),
+                        (variable_cost, "VC"),
+                        (selective_bypass, "SB"),
+                    )
+                    if flag
+                ]
+                name = "flack[" + "+".join(parts or ["none"]) + "]"
+        plan_mode = not (async_aware or variable_cost or selective_bypass)
+        super().__init__(
+            trace,
+            config,
+            # With no FLACK feature enabled this *is* FOO: a static plan
+            # followed verbatim.  Any feature moves to insertion-time
+            # greedy replay (lazy eviction is part of "A").
+            plan_mode=plan_mode,
+            async_aware=async_aware,
+            variable_cost=variable_cost,
+            selective_bypass=selective_bypass,
+            set_index_fn=set_index_fn,
+            name=name,
+        )
+
+
+#: The Figure 10 ablation ladder: feature sets applied cumulatively.
+ABLATION_STEPS: tuple[tuple[str, dict[str, bool]], ...] = (
+    ("foo", dict(async_aware=False, variable_cost=False, selective_bypass=False)),
+    ("A", dict(async_aware=True, variable_cost=False, selective_bypass=False)),
+    ("A+VC", dict(async_aware=True, variable_cost=True, selective_bypass=False)),
+    ("A+VC+SB", dict(async_aware=True, variable_cost=True, selective_bypass=True)),
+)
+
+
+def flack_ablation_suite(
+    trace: Trace, config: UopCacheConfig
+) -> dict[str, FLACKPolicy]:
+    """Build the cumulative-feature policies of the Figure 10 ablation."""
+    return {
+        label: FLACKPolicy(trace, config, name=f"flack[{label}]", **flags)
+        for label, flags in ABLATION_STEPS
+    }

@@ -1,0 +1,152 @@
+"""Request-interval extraction from a PW lookup trace.
+
+Offline caching decisions decompose the trace into *request intervals*:
+for each lookup of an object, the span until the object's next lookup.
+Keeping the object cached across the interval turns the lookup at the
+far end into a hit; the interval occupies ``size`` entries of its set
+for its whole duration.  FOO's insight (Section III-D) is that the
+optimal decision is constant between consecutive accesses, so choosing
+which intervals to cache — subject to per-set way capacity over time —
+*is* the offline replacement problem.
+
+Two object-identity modes reproduce the paper's distinction:
+
+* ``IdentityMode.EXACT`` — a PW is ``(start, uops)``; same-start
+  windows of different lengths are unrelated objects.  This is what
+  Belady and plain FOO assume, and what makes them blind to partial
+  hits (Figure 4).
+* ``IdentityMode.START`` — a PW is its start address; consecutive
+  same-start lookups chain regardless of length, and the interval's
+  value is the micro-ops actually served (``min(uops_i, uops_j)``, the
+  intermediate-exit-point benefit).  This is FLACK's view.
+
+Three value metrics reproduce the objectives:
+
+* ``ValueMetric.OHR`` — every avoided miss is worth 1 (object hit
+  ratio);
+* ``ValueMetric.ENTRIES`` — worth the PW's size in entries (byte hit
+  ratio analogue);
+* ``ValueMetric.UOPS`` — worth the micro-ops served (FLACK's variable
+  disproportional cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Hashable
+
+from ..config import UopCacheConfig
+from ..core.pw import PWLookup
+from ..core.trace import Trace
+
+
+class IdentityMode(Enum):
+    """How lookups are matched into reuse chains."""
+
+    EXACT = "exact"
+    START = "start"
+
+    def key_fn(self) -> Callable[[PWLookup], Hashable]:
+        if self is IdentityMode.EXACT:
+            return lambda pw: (pw.start, pw.uops)
+        return lambda pw: pw.start
+
+
+class ValueMetric(Enum):
+    """What a kept interval is worth (the avoided miss cost)."""
+
+    OHR = "ohr"
+    ENTRIES = "entries"
+    UOPS = "uops"
+
+
+@dataclass(slots=True)
+class Interval:
+    """One request interval within a single cache set.
+
+    ``i_slot``/``j_slot`` index the set-local timeline (the sequence of
+    lookups mapping to this set); ``t_start``/``t_end`` are the global
+    lookup indices of the two endpoint accesses.
+    """
+
+    set_index: int
+    i_slot: int
+    j_slot: int
+    t_start: int
+    t_end: int
+    size: int
+    value: float
+
+    @property
+    def duration_slots(self) -> int:
+        return self.j_slot - self.i_slot
+
+    def density(self) -> float:
+        """Value per entry-slot of cache occupancy (greedy ranking key)."""
+        return self.value / (self.size * max(1, self.duration_slots))
+
+
+def interval_value(
+    metric: ValueMetric, stored: PWLookup, next_lookup: PWLookup,
+    uops_per_entry: int,
+) -> float:
+    """Miss cost avoided at ``next_lookup`` if ``stored`` is kept."""
+    served_uops = min(stored.uops, next_lookup.uops)
+    if metric is ValueMetric.OHR:
+        return 1.0
+    if metric is ValueMetric.ENTRIES:
+        return float(min(
+            stored.size(uops_per_entry), next_lookup.size(uops_per_entry)
+        ))
+    return float(served_uops)
+
+
+def extract_intervals(
+    trace: Trace,
+    config: UopCacheConfig,
+    *,
+    identity: IdentityMode,
+    metric: ValueMetric,
+    set_index_fn: Callable[[int, int], int],
+    min_gap: int = 0,
+) -> tuple[list[list[Interval]], list[int]]:
+    """Decompose a trace into per-set request intervals.
+
+    ``min_gap`` drops intervals whose global-time span is not greater
+    than the decode-pipeline insertion delay: with asynchronous
+    insertion the window cannot be resident in time, so such an
+    interval can never produce a hit (FLACK's asynchrony awareness).
+
+    Returns ``(per_set_intervals, slot_counts)``: the intervals grouped
+    by set and the number of timeline slots of each set.
+    """
+    n_sets = config.sets
+    key_fn = identity.key_fn()
+    per_set: list[list[Interval]] = [[] for _ in range(n_sets)]
+    slot_counts = [0] * n_sets
+    # key -> (set_index, slot, global_t, lookup)
+    last_seen: dict[Hashable, tuple[int, int, int, PWLookup]] = {}
+
+    for t, pw in enumerate(trace):
+        s = set_index_fn(pw.start, n_sets)
+        slot = slot_counts[s]
+        slot_counts[s] += 1
+        key = key_fn(pw)
+        previous = last_seen.get(key)
+        if previous is not None:
+            _, i_slot, t_start, stored = previous
+            if t - t_start > min_gap:
+                per_set[s].append(
+                    Interval(
+                        set_index=s,
+                        i_slot=i_slot,
+                        j_slot=slot,
+                        t_start=t_start,
+                        t_end=t,
+                        size=min(stored.size(config.uops_per_entry), config.ways),
+                        value=interval_value(metric, stored, pw, config.uops_per_entry),
+                    )
+                )
+        last_seen[key] = (s, slot, t, pw)
+    return per_set, slot_counts

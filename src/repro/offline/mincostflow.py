@@ -1,0 +1,152 @@
+"""Exact min-cost-flow interval admission (the FOO LP relaxation).
+
+Berger et al. showed offline caching with variable sizes relaxes to a
+min-cost flow: per cache set, a chain of nodes (one per request slot)
+carries *cached* flow with capacity equal to the set's ways; each
+request interval must route its ``size`` units from its start slot to
+its end slot, either through the chain (cached, free) or through a
+direct *miss* edge costing the interval's value.  Minimizing cost
+maximizes the value of cached intervals.
+
+This solver is exact but O(F · E log V), so the policies default to the
+greedy admission in :mod:`repro.offline.plan`; tests use this module to
+bound the greedy plan's optimality gap, and ``FOOPolicy(use_flow=True)``
+runs it end-to-end on small traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..errors import FlowError
+from .intervals import Interval
+from .plan import AdmissionPlan
+
+#: Fixed-point scale for fractional interval values.
+_COST_SCALE = 1024
+
+
+class MinCostFlow:
+    """Successive-shortest-path min-cost max-flow with potentials.
+
+    Edge costs must be non-negative (true for this problem).
+    """
+
+    def __init__(self, n_nodes: int) -> None:
+        self._n = n_nodes
+        self._graph: list[list[int]] = [[] for _ in range(n_nodes)]
+        # Parallel arrays: to, capacity, cost (reverse edge at index ^ 1).
+        self._to: list[int] = []
+        self._cap: list[int] = []
+        self._cost: list[int] = []
+
+    def add_edge(self, u: int, v: int, capacity: int, cost: int) -> int:
+        """Add a directed edge; returns its index (for flow queries)."""
+        if capacity < 0 or cost < 0:
+            raise FlowError("capacity and cost must be non-negative")
+        index = len(self._to)
+        self._graph[u].append(index)
+        self._to.append(v)
+        self._cap.append(capacity)
+        self._cost.append(cost)
+        self._graph[v].append(index + 1)
+        self._to.append(u)
+        self._cap.append(0)
+        self._cost.append(-cost)
+        return index
+
+    def flow_on(self, edge_index: int) -> int:
+        """Units of flow routed through an edge added by :meth:`add_edge`."""
+        return self._cap[edge_index + 1]
+
+    def solve(self, source: int, sink: int) -> tuple[int, int]:
+        """Push max flow at min cost; returns ``(flow, cost)``."""
+        n = self._n
+        to, cap, cost = self._to, self._cap, self._cost
+        graph = self._graph
+        potential = [0] * n
+        total_flow = 0
+        total_cost = 0
+        infinity = float("inf")
+        while True:
+            dist = [infinity] * n
+            dist[source] = 0
+            parent_edge = [-1] * n
+            heap = [(0, source)]
+            while heap:
+                d, u = heapq.heappop(heap)
+                if d > dist[u]:
+                    continue
+                for edge in graph[u]:
+                    if cap[edge] <= 0:
+                        continue
+                    v = to[edge]
+                    nd = d + cost[edge] + potential[u] - potential[v]
+                    if nd < dist[v]:
+                        dist[v] = nd
+                        parent_edge[v] = edge
+                        heapq.heappush(heap, (nd, v))
+            if dist[sink] == infinity:
+                break
+            for v in range(n):
+                if dist[v] < infinity:
+                    potential[v] += int(dist[v])
+            # Find bottleneck along the path.
+            push = None
+            v = sink
+            while v != source:
+                edge = parent_edge[v]
+                push = cap[edge] if push is None else min(push, cap[edge])
+                v = to[edge ^ 1]
+            assert push is not None and push > 0
+            v = sink
+            while v != source:
+                edge = parent_edge[v]
+                cap[edge] -= push
+                cap[edge ^ 1] += push
+                total_cost += push * cost[edge]
+                v = to[edge ^ 1]
+            total_flow += push
+        return total_flow, total_cost
+
+
+def flow_admission(
+    per_set: list[list[Interval]],
+    slot_counts: list[int],
+    ways: int,
+    trace_len: int,
+) -> AdmissionPlan:
+    """Exact (LP-relaxation) interval admission via min-cost flow.
+
+    An interval is admitted when more than half its units route through
+    the chain (the standard rounding of FOO's fractional solution).
+    """
+    plan = AdmissionPlan(trace_len)
+    for set_index, intervals in enumerate(per_set):
+        if not intervals:
+            continue
+        plan.considered_count += len(intervals)
+        plan.considered_value += sum(iv.value for iv in intervals)
+        m = max(1, slot_counts[set_index])
+        source, sink = m, m + 1
+        solver = MinCostFlow(m + 2)
+        for slot in range(m - 1):
+            solver.add_edge(slot, slot + 1, ways, 0)
+        miss_edges: list[tuple[Interval, int]] = []
+        for interval in intervals:
+            if interval.i_slot >= interval.j_slot:
+                plan.admit(interval)  # occupies no capacity
+                continue
+            solver.add_edge(source, interval.i_slot, interval.size, 0)
+            solver.add_edge(interval.j_slot, sink, interval.size, 0)
+            unit_cost = max(1, round(interval.value * _COST_SCALE / interval.size))
+            miss_edge = solver.add_edge(
+                interval.i_slot, interval.j_slot, interval.size, unit_cost
+            )
+            miss_edges.append((interval, miss_edge))
+        solver.solve(source, sink)
+        for interval, miss_edge in miss_edges:
+            missed_units = solver.flow_on(miss_edge)
+            if missed_units * 2 <= interval.size:
+                plan.admit(interval)
+    return plan

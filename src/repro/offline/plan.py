@@ -1,0 +1,87 @@
+"""Admission planning: choosing which request intervals to cache.
+
+Selecting the maximum-value subset of variable-size intervals under a
+per-set capacity-over-time constraint is NP-complete (Hosseini-Khayat
+[41]); FOO approximates it with a min-cost-flow LP relaxation, and this
+module provides the scalable greedy analogue used by default: intervals
+are admitted in decreasing *density* (value per entry-slot) order
+whenever capacity remains across their span.  The exact flow-based
+solver in :mod:`repro.offline.mincostflow` is used by tests (and
+optionally by the policies, for small traces) to confirm the greedy
+plan's value is close to the LP bound.
+
+The output :class:`AdmissionPlan` answers, for each global lookup index
+``t``, "should the window observed at ``t`` be kept in the cache until
+its next use?" — which is everything the replay policy needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .intervals import Interval
+
+
+class AdmissionPlan:
+    """Per-lookup keep/bypass decisions derived from interval admission."""
+
+    def __init__(self, trace_len: int) -> None:
+        self._admit_from = bytearray(trace_len)
+        self.admitted_value = 0.0
+        self.considered_value = 0.0
+        self.admitted_count = 0
+        self.considered_count = 0
+
+    def admit(self, interval: Interval) -> None:
+        self._admit_from[interval.t_start] = 1
+        self.admitted_value += interval.value
+        self.admitted_count += 1
+
+    def keep_from(self, t: int) -> bool:
+        """Should the PW looked up at ``t`` stay cached until next use?"""
+        if 0 <= t < len(self._admit_from):
+            return bool(self._admit_from[t])
+        return False
+
+    @property
+    def admission_ratio(self) -> float:
+        if self.considered_count == 0:
+            return 0.0
+        return self.admitted_count / self.considered_count
+
+
+def greedy_admission(
+    per_set: list[list[Interval]],
+    slot_counts: list[int],
+    ways: int,
+    trace_len: int,
+) -> AdmissionPlan:
+    """Admit intervals greedily by density under way-capacity.
+
+    For each set, an occupancy array over the set-local timeline tracks
+    entries in use per slot; an interval is admitted when every slot in
+    ``[i_slot, j_slot)`` still has ``size`` free entries.  Zero-length
+    spans (back-to-back lookups in the same set) occupy nothing and are
+    always admitted.
+    """
+    plan = AdmissionPlan(trace_len)
+    for set_index, intervals in enumerate(per_set):
+        if not intervals:
+            continue
+        plan.considered_count += len(intervals)
+        plan.considered_value += sum(iv.value for iv in intervals)
+        occupancy = np.zeros(max(1, slot_counts[set_index]), dtype=np.int32)
+        # Density-descending; deterministic tie-break on (start, slot).
+        ranked = sorted(
+            intervals, key=lambda iv: (-iv.density(), iv.t_start, iv.i_slot)
+        )
+        for interval in ranked:
+            lo, hi = interval.i_slot, interval.j_slot
+            if lo >= hi:
+                plan.admit(interval)
+                continue
+            window = occupancy[lo:hi]
+            if int(window.max()) + interval.size <= ways:
+                window += interval.size
+                plan.admit(interval)
+    return plan

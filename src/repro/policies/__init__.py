@@ -1,0 +1,68 @@
+"""Online replacement policies (the paper's baselines plus FURBYS).
+
+Each policy adapts a published design to the micro-op cache's PW
+granularity: victims may span several entries, and insertions can be
+bypassed.  The registry maps names used by the experiment harness to
+factories.
+"""
+
+from typing import Callable
+
+from ..errors import UnknownPolicyError
+from ..uopcache.replacement import ReplacementPolicy
+from .drrip import DRRIPPolicy
+from .furbys import FurbysPolicy
+from .ghrp import GHRPPolicy
+from .hawkeye import HawkeyePolicy
+from .lru import LRUPolicy
+from .mockingjay import MockingjayPolicy
+from .random_policy import RandomPolicy
+from .ship import SHiPPlusPlusPolicy
+from .srrip import SRRIPPolicy
+from .thermometer import ThermometerPolicy
+
+_FACTORIES: dict[str, Callable[[], ReplacementPolicy]] = {
+    "lru": LRUPolicy,
+    "random": RandomPolicy,
+    "srrip": SRRIPPolicy,
+    "drrip": DRRIPPolicy,
+    "ship++": SHiPPlusPlusPolicy,
+    "ghrp": GHRPPolicy,
+    "mockingjay": MockingjayPolicy,
+    "hawkeye": HawkeyePolicy,
+}
+
+
+def make_policy(name: str) -> ReplacementPolicy:
+    """Instantiate a parameter-free online policy by name.
+
+    Profile-guided policies (``thermometer``, ``furbys``) need profile
+    inputs and are constructed through :mod:`repro.profiling` instead.
+    """
+    try:
+        return _FACTORIES[name]()
+    except KeyError:
+        raise UnknownPolicyError(
+            f"unknown policy {name!r}; available: {sorted(_FACTORIES)}"
+        ) from None
+
+
+def online_policy_names() -> tuple[str, ...]:
+    """Names of the parameter-free online policies."""
+    return tuple(_FACTORIES)
+
+
+__all__ = [
+    "DRRIPPolicy",
+    "FurbysPolicy",
+    "GHRPPolicy",
+    "HawkeyePolicy",
+    "LRUPolicy",
+    "MockingjayPolicy",
+    "RandomPolicy",
+    "SHiPPlusPlusPolicy",
+    "SRRIPPolicy",
+    "ThermometerPolicy",
+    "make_policy",
+    "online_policy_names",
+]

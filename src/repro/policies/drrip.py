@@ -1,0 +1,98 @@
+"""DRRIP: Dynamic Re-Reference Interval Prediction (Jaleel et al.,
+ISCA'10).
+
+DRRIP set-duels between SRRIP (insert at RRPV 2) and BRRIP (bimodal:
+mostly insert at the distant RRPV 3, occasionally at 2 — scan/thrash
+resistant).  A handful of *leader sets* are hard-wired to each
+component; a saturating policy-selection counter (PSEL) counts which
+leader group misses less and steers all follower sets.
+
+The paper's related-work section groups DRRIP with the re-reference
+heuristics that "use the recent accesses to predict the future reuse
+distance" [45], [71]; it is included here as an additional baseline for
+the Figure 5/8-style comparisons and the thrash-heavy synthetic
+workloads where plain SRRIP degenerates.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.pw import PWLookup, StoredPW
+from ..uopcache.replacement import EvictionReason, ReplacementPolicy
+from .srrip import RRPV_INSERT, RRPV_MAX, RRPVTable
+
+#: One in this many BRRIP insertions uses the long (not distant) RRPV.
+_BRRIP_EPSILON = 32
+#: PSEL is a 10-bit saturating counter in the original design.
+_PSEL_MAX = 1023
+_PSEL_INIT = _PSEL_MAX // 2
+#: Leader sets per component (of the 64 sets of the default geometry).
+_LEADERS_PER_POLICY = 4
+
+
+class DRRIPPolicy(ReplacementPolicy):
+    """DRRIP adapted to PW granularity."""
+
+    name = "drrip"
+
+    def reset(self) -> None:
+        self.rrpv = RRPVTable()
+        self._last_use: dict[int, int] = {}
+        self._psel = _PSEL_INIT
+        self._brrip_tick = 0
+        n_sets = self.cache.n_sets if self._cache is not None else 64
+        stride = max(1, n_sets // (2 * _LEADERS_PER_POLICY))
+        self._srrip_leaders = {i * 2 * stride for i in range(_LEADERS_PER_POLICY)}
+        self._brrip_leaders = {
+            i * 2 * stride + stride for i in range(_LEADERS_PER_POLICY)
+        }
+
+    # --- set-dueling ------------------------------------------------------------
+
+    def _uses_brrip(self, set_index: int) -> bool:
+        if set_index in self._brrip_leaders:
+            return True
+        if set_index in self._srrip_leaders:
+            return False
+        # Followers: PSEL above the midpoint means SRRIP missed more.
+        return self._psel > _PSEL_INIT
+
+    def on_miss(self, now: int, set_index: int, lookup: PWLookup) -> None:
+        # Misses in a leader set vote against its policy.
+        if set_index in self._srrip_leaders:
+            self._psel = min(_PSEL_MAX, self._psel + 1)
+        elif set_index in self._brrip_leaders:
+            self._psel = max(0, self._psel - 1)
+
+    # --- RRPV maintenance ----------------------------------------------------------
+
+    def on_hit(self, now: int, set_index: int, stored: StoredPW,
+               lookup: PWLookup) -> None:
+        self.rrpv.on_hit(stored.start)
+        self._last_use[stored.start] = now
+
+    def on_partial_hit(self, now: int, set_index: int, stored: StoredPW,
+                       lookup: PWLookup) -> None:
+        self.rrpv.on_hit(stored.start)
+        self._last_use[stored.start] = now
+
+    def on_insert(self, now: int, set_index: int, stored: StoredPW) -> None:
+        self._last_use[stored.start] = now
+        if self._uses_brrip(set_index):
+            self._brrip_tick += 1
+            if self._brrip_tick % _BRRIP_EPSILON == 0:
+                self.rrpv.set(stored.start, RRPV_INSERT)
+            else:
+                self.rrpv.set(stored.start, RRPV_MAX)
+        else:
+            self.rrpv.set(stored.start, RRPV_INSERT)
+
+    def on_evict(self, now: int, set_index: int, stored: StoredPW,
+                 reason: EvictionReason) -> None:
+        self.rrpv.on_evict(stored.start)
+        self._last_use.pop(stored.start, None)
+
+    def victim_order(self, now: int, set_index: int, incoming: StoredPW,
+                     resident: Sequence[StoredPW]) -> list[StoredPW]:
+        return self.rrpv.victim_order(resident, self._last_use)

@@ -1,0 +1,185 @@
+"""FURBYS: the paper's practical micro-op cache replacement policy.
+
+FURBYS (FLACK-based groUping-by-hit-Rate BYpassing-coldness
+detecting-miSses, Section V) combines three mechanisms:
+
+1. **Whole-execution weights** — each PW carries a 3-bit weight group
+   derived offline from FLACK-simulated hit rates (Jenks natural
+   breaks); the victim is the resident PW with the minimum weight
+   (a hardware *min module*), ties broken by LRU.
+2. **Local miss-pitfall detector** — a per-set record (depth 2 by
+   default, Figure 20) of recently evicted PWs; when the weight-based
+   victim was itself recently evicted, the set is thrashing on a
+   globally-hot-but-locally-cold window, and FURBYS degrades to SRRIP
+   for one decision before resuming.
+3. **Selective bypass** — an incoming PW whose weight is below the
+   minimum resident weight minus ``K`` (= 1, Section V) is not
+   inserted, avoiding pollution and saving insertion energy
+   (Figure 21 / Figure 14).
+
+Weights arrive with the insertion request (``StoredPW.weight``); PWs
+the profile never saw carry no hint and default to weight 0, i.e. cold.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from ..core.pw import PWLookup, StoredPW
+from ..uopcache.replacement import (
+    BYPASS,
+    Decision,
+    EvictionReason,
+    ReplacementPolicy,
+    Victims,
+)
+from .srrip import RRPVTable
+
+
+class FurbysPolicy(ReplacementPolicy):
+    """FURBYS with configurable ablation knobs.
+
+    Parameters
+    ----------
+    bypass_enabled:
+        The selective-bypass mechanism (Figure 21 toggles this).
+    bypass_margin:
+        The hyperparameter K; bypass when
+        ``incoming_weight < min_resident_weight - K``.
+    pitfall_depth:
+        Slots in the per-set miss-pitfall detector (Figure 20 sweeps
+        this; 0 disables the detector entirely).
+    """
+
+    name = "furbys"
+
+    def __init__(
+        self,
+        *,
+        bypass_enabled: bool = True,
+        bypass_margin: int = 1,
+        bypass_floor: int = 2,
+        pitfall_depth: int = 2,
+    ) -> None:
+        super().__init__()
+        self._bypass_enabled = bypass_enabled
+        self._bypass_margin = bypass_margin
+        self._bypass_floor = bypass_floor
+        self._pitfall_depth = pitfall_depth
+
+    def reset(self) -> None:
+        self.rrpv = RRPVTable()
+        self._last_use: dict[int, int] = {}
+        self._pitfall: dict[int, deque[int]] = {}
+        self.primary_selections = 0
+        self.fallback_selections = 0
+        self.bypass_decisions = 0
+
+    # --- helpers -----------------------------------------------------------------
+
+    @staticmethod
+    def weight_of(pw: StoredPW) -> int:
+        """Effective weight: unhinted PWs behave as the coldest group."""
+        return pw.weight if pw.weight is not None else 0
+
+    def _detector(self, set_index: int) -> deque[int]:
+        detector = self._pitfall.get(set_index)
+        if detector is None:
+            detector = deque(maxlen=max(1, self._pitfall_depth))
+            self._pitfall[set_index] = detector
+        return detector
+
+    # --- event hooks ----------------------------------------------------------------
+
+    def on_hit(self, now: int, set_index: int, stored: StoredPW,
+               lookup: PWLookup) -> None:
+        self._last_use[stored.start] = now
+        self.rrpv.on_hit(stored.start)
+
+    def on_partial_hit(self, now: int, set_index: int, stored: StoredPW,
+                       lookup: PWLookup) -> None:
+        self._last_use[stored.start] = now
+        self.rrpv.on_hit(stored.start)
+
+    def on_insert(self, now: int, set_index: int, stored: StoredPW) -> None:
+        self._last_use[stored.start] = now
+        self.rrpv.on_insert(stored.start)
+
+    def on_evict(self, now: int, set_index: int, stored: StoredPW,
+                 reason: EvictionReason) -> None:
+        self._last_use.pop(stored.start, None)
+        self.rrpv.on_evict(stored.start)
+
+    # --- the decision ------------------------------------------------------------------
+
+    def _furbys_order(self, resident: Sequence[StoredPW]) -> list[StoredPW]:
+        return sorted(
+            resident,
+            key=lambda pw: (self.weight_of(pw), self._last_use.get(pw.start, -1)),
+        )
+
+    def should_bypass(self, now: int, set_index: int, incoming: StoredPW,
+                      resident: Sequence[StoredPW], need_ways: int) -> bool:
+        # The bypass comparison happens during victim search (step 3 of
+        # Figure 7), so it only applies when the set is full.
+        if not self._bypass_enabled or need_ways <= 0 or not resident:
+            return False
+        if incoming.weight is None:
+            # No hint reached the decoder for this window — there is no
+            # profile evidence to justify a bypass.
+            return False
+        weight = self.weight_of(incoming)
+        if weight >= self._bypass_floor:
+            # Only *low-weight* PWs are bypass candidates (Section V,
+            # "selective bypass of PWs with low weights"): bypassing is
+            # a pollution/energy filter for profiled-cold windows, not a
+            # general admission tournament.
+            return False
+        min_weight = min(self.weight_of(pw) for pw in resident)
+        if weight < min_weight - self._bypass_margin:
+            self.bypass_decisions += 1
+            return True
+        return False
+
+    def choose_victims(self, now: int, set_index: int, incoming: StoredPW,
+                       resident: Sequence[StoredPW], need_ways: int) -> Decision:
+        if not resident:
+            return Victims([])
+
+        ranked = self._furbys_order(resident)
+        use_fallback = False
+        if self._pitfall_depth > 0:
+            detector = self._detector(set_index)
+            if ranked[0].start in detector:
+                # The chosen victim was itself evicted from this set just
+                # recently — the {A, I}^n thrash of Section V: a window
+                # cycles evict→reinsert→evict while a stale (locally
+                # cold) high-weight window sits protected.  Degrade to
+                # SRRIP for this decision, then resume FURBYS.  (The
+                # detector stores the evicted way plus a tag hash; start
+                # identity stands in for that pair here.)
+                use_fallback = True
+        if use_fallback:
+            ranked = self.rrpv.victim_order(list(resident), self._last_use)
+            self.fallback_selections += 1
+        else:
+            self.primary_selections += 1
+
+        victims: list[StoredPW] = []
+        freed = 0
+        for candidate in ranked:
+            if freed >= need_ways:
+                break
+            victims.append(candidate)
+            freed += candidate.size
+        if freed < need_ways:
+            return BYPASS
+        if self._pitfall_depth > 0:
+            detector = self._detector(set_index)
+            if use_fallback:
+                detector.clear()
+            else:
+                for victim in victims:
+                    detector.append(victim.start)
+        return Victims(victims)

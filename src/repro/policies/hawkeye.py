@@ -1,0 +1,156 @@
+"""Hawkeye: learning from Belady's algorithm (Jain & Lin, ISCA'16).
+
+Hawkeye reconstructs, per set, what Belady's MIN *would have done* on
+the recent past (the OPTgen occupancy-vector algorithm) and trains a
+PC-indexed predictor from those verdicts: loads that MIN would have
+cached are *cache-friendly*, others *cache-averse*.  Friendly
+insertions are protected; averse ones are inserted ready to evict.
+
+The paper cites this family ("[43], [63], [78] mimic Belady's algorithm
+to generate learning data") and argues it inherits Belady's blind spots
+on the micro-op cache — equal costs and exact identity.  This
+PW-granularity adaptation keeps those blind spots on purpose: OPTgen
+occupancy is entry-weighted but verdicts ignore micro-op counts, and
+same-start windows of different lengths share one predictor entry.
+
+Per-set OPTgen uses a sliding window of the last ``8 × ways`` accesses,
+the usual Hawkeye configuration.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from ..core.pw import PWLookup, StoredPW
+from ..uopcache.replacement import EvictionReason, ReplacementPolicy
+from .srrip import RRPVTable, RRPV_MAX
+
+_PREDICTOR_BITS = 13
+_PREDICTOR_SIZE = 1 << _PREDICTOR_BITS
+_COUNTER_MAX = 7
+_FRIENDLY_THRESHOLD = 4
+#: OPTgen window length in set-local accesses, per ways.
+_WINDOW_PER_WAY = 8
+
+
+def _predictor_index(start: int) -> int:
+    return ((start >> 4) ^ (start >> 13)) & (_PREDICTOR_SIZE - 1)
+
+
+class _OptGen:
+    """Occupancy-vector reconstruction of MIN for one cache set.
+
+    ``access`` returns MIN's verdict for the *previous* interval of the
+    window (True: MIN would have hit this reuse) or None on first use
+    within the window.
+    """
+
+    def __init__(self, ways: int) -> None:
+        self._capacity = ways
+        self._window = _WINDOW_PER_WAY * ways
+        #: set-local time of the last access per start.
+        self._last_access: dict[int, int] = {}
+        #: occupancy per set-local time slot within the window.
+        self._occupancy: deque[int] = deque(maxlen=self._window)
+        self._clock = 0
+
+    def access(self, start: int, size: int) -> bool | None:
+        clock = self._clock
+        self._clock += 1
+        self._occupancy.append(0)
+        last = self._last_access.get(start)
+        self._last_access[start] = clock
+        if last is None or clock - last >= self._window:
+            return None
+        # Would MIN have kept `start` across [last, clock)? Only if the
+        # occupancy never reached capacity over the interval.
+        offset = len(self._occupancy) - (clock - last) - 1
+        window_slice = list(self._occupancy)
+        interval = window_slice[max(0, offset):-1]
+        if interval and max(interval) + size > self._capacity:
+            return False
+        # MIN caches it: charge the interval's occupancy.
+        for index in range(max(0, offset), len(window_slice) - 1):
+            window_slice[index] += size
+        self._occupancy = deque(window_slice, maxlen=self._window)
+        return True
+
+
+class HawkeyePolicy(ReplacementPolicy):
+    """Hawkeye adapted to PW granularity."""
+
+    name = "hawkeye"
+
+    def reset(self) -> None:
+        self.rrpv = RRPVTable()
+        self._last_use: dict[int, int] = {}
+        self._predictor = [_FRIENDLY_THRESHOLD] * _PREDICTOR_SIZE
+        self._optgen: dict[int, _OptGen] = {}
+
+    # --- OPTgen training ---------------------------------------------------------
+
+    def _optgen_for(self, set_index: int) -> _OptGen:
+        optgen = self._optgen.get(set_index)
+        if optgen is None:
+            optgen = _OptGen(self.cache.ways)
+            self._optgen[set_index] = optgen
+        return optgen
+
+    def _train(self, start: int, friendly: bool) -> None:
+        index = _predictor_index(start)
+        if friendly:
+            self._predictor[index] = min(_COUNTER_MAX, self._predictor[index] + 1)
+        else:
+            self._predictor[index] = max(0, self._predictor[index] - 1)
+
+    def _is_friendly(self, start: int) -> bool:
+        return self._predictor[_predictor_index(start)] >= _FRIENDLY_THRESHOLD
+
+    def on_lookup(self, now: int, set_index: int, lookup: PWLookup) -> None:
+        verdict = self._optgen_for(set_index).access(
+            lookup.start, lookup.size(self.cache.config.uops_per_entry)
+        )
+        if verdict is not None:
+            self._train(lookup.start, friendly=verdict)
+
+    # --- RRPV maintenance -----------------------------------------------------------
+
+    def on_hit(self, now: int, set_index: int, stored: StoredPW,
+               lookup: PWLookup) -> None:
+        self._last_use[stored.start] = now
+        if self._is_friendly(stored.start):
+            self.rrpv.on_hit(stored.start)
+
+    def on_partial_hit(self, now: int, set_index: int, stored: StoredPW,
+                       lookup: PWLookup) -> None:
+        self.on_hit(now, set_index, stored, lookup)
+
+    def on_insert(self, now: int, set_index: int, stored: StoredPW) -> None:
+        self._last_use[stored.start] = now
+        if self._is_friendly(stored.start):
+            self.rrpv.set(stored.start, 0)
+        else:
+            self.rrpv.set(stored.start, RRPV_MAX)
+
+    def on_evict(self, now: int, set_index: int, stored: StoredPW,
+                 reason: EvictionReason) -> None:
+        if (
+            reason is EvictionReason.REPLACEMENT
+            and self._is_friendly(stored.start)
+        ):
+            # Evicting a friendly line means the predictor overcommitted.
+            self._train(stored.start, friendly=False)
+        self.rrpv.on_evict(stored.start)
+        self._last_use.pop(stored.start, None)
+
+    def victim_order(self, now: int, set_index: int, incoming: StoredPW,
+                     resident: Sequence[StoredPW]) -> list[StoredPW]:
+        # Averse lines first (they sit at RRPV_MAX); LRU breaks ties.
+        return sorted(
+            resident,
+            key=lambda pw: (
+                -self.rrpv.get(pw.start),
+                self._last_use.get(pw.start, -1),
+            ),
+        )

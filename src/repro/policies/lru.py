@@ -1,0 +1,41 @@
+"""Least-recently-used replacement — the paper's baseline policy."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.pw import PWLookup, StoredPW
+from ..uopcache.replacement import EvictionReason, ReplacementPolicy
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Evict the least-recently-used PW(s); never bypass.
+
+    Recency is tracked per PW start with the lookup index as the clock;
+    both full and partial hits refresh recency (the stored window was
+    read either way).
+    """
+
+    name = "lru"
+
+    def reset(self) -> None:
+        self._last_use: dict[int, int] = {}
+
+    def on_hit(self, now: int, set_index: int, stored: StoredPW,
+               lookup: PWLookup) -> None:
+        self._last_use[stored.start] = now
+
+    def on_partial_hit(self, now: int, set_index: int, stored: StoredPW,
+                       lookup: PWLookup) -> None:
+        self._last_use[stored.start] = now
+
+    def on_insert(self, now: int, set_index: int, stored: StoredPW) -> None:
+        self._last_use[stored.start] = now
+
+    def on_evict(self, now: int, set_index: int, stored: StoredPW,
+                 reason: EvictionReason) -> None:
+        self._last_use.pop(stored.start, None)
+
+    def victim_order(self, now: int, set_index: int, incoming: StoredPW,
+                     resident: Sequence[StoredPW]) -> list[StoredPW]:
+        return sorted(resident, key=lambda pw: self._last_use.get(pw.start, -1))

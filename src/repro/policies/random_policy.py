@@ -1,0 +1,28 @@
+"""Random replacement — a sanity-check floor for the policy comparison."""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..core.pw import StoredPW
+from ..uopcache.replacement import ReplacementPolicy
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Evict uniformly random resident PWs (deterministic via seed)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self._seed = seed
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+    def victim_order(self, now: int, set_index: int, incoming: StoredPW,
+                     resident: Sequence[StoredPW]) -> list[StoredPW]:
+        order = list(resident)
+        self._rng.shuffle(order)
+        return order

@@ -1,0 +1,101 @@
+"""SRRIP: Static Re-Reference Interval Prediction (Jaleel et al., ISCA'10).
+
+Each resident PW carries a 2-bit Re-Reference Prediction Value (RRPV).
+Insertions predict a *long* re-reference interval (RRPV = 2); hits
+promote to *near-immediate* (RRPV = 0).  Victims are PWs with the
+*distant* value (RRPV = 3); when none exists, all RRPVs in the set age
+until one does.  This is the policy FURBYS degrades to when its local
+miss-pitfall detector fires, so the implementation is shared.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.pw import PWLookup, StoredPW
+from ..uopcache.replacement import EvictionReason, ReplacementPolicy
+
+#: 2-bit RRPV constants from the paper's hardware description.
+RRPV_MAX = 3
+RRPV_INSERT = 2
+RRPV_HIT = 0
+
+
+class RRPVTable:
+    """RRPV metadata shared by SRRIP-family policies (and FURBYS)."""
+
+    def __init__(self) -> None:
+        self._rrpv: dict[int, int] = {}
+
+    def on_insert(self, start: int) -> None:
+        self._rrpv[start] = RRPV_INSERT
+
+    def on_hit(self, start: int) -> None:
+        self._rrpv[start] = RRPV_HIT
+
+    def on_evict(self, start: int) -> None:
+        self._rrpv.pop(start, None)
+
+    def get(self, start: int) -> int:
+        return self._rrpv.get(start, RRPV_MAX)
+
+    def set(self, start: int, value: int) -> None:
+        self._rrpv[start] = value
+
+    def victim_order(
+        self,
+        resident: Sequence[StoredPW],
+        last_use: dict[int, int] | None = None,
+    ) -> list[StoredPW]:
+        """Rank residents distant-first, aging the set if necessary.
+
+        Aging mutates the stored RRPVs, as the hardware counter
+        increments would.  ``last_use`` optionally breaks RRPV ties in
+        LRU order (stale first).
+        """
+        if not resident:
+            return []
+        current_max = max(self.get(pw.start) for pw in resident)
+        if current_max < RRPV_MAX:
+            delta = RRPV_MAX - current_max
+            for pw in resident:
+                self.set(pw.start, self.get(pw.start) + delta)
+        if last_use is None:
+            return sorted(resident, key=lambda pw: -self.get(pw.start))
+        return sorted(
+            resident,
+            key=lambda pw: (-self.get(pw.start), last_use.get(pw.start, -1)),
+        )
+
+
+class SRRIPPolicy(ReplacementPolicy):
+    """Plain SRRIP adapted to PW granularity."""
+
+    name = "srrip"
+
+    def reset(self) -> None:
+        self.rrpv = RRPVTable()
+        self._last_use: dict[int, int] = {}
+
+    def on_hit(self, now: int, set_index: int, stored: StoredPW,
+               lookup: PWLookup) -> None:
+        self.rrpv.on_hit(stored.start)
+        self._last_use[stored.start] = now
+
+    def on_partial_hit(self, now: int, set_index: int, stored: StoredPW,
+                       lookup: PWLookup) -> None:
+        self.rrpv.on_hit(stored.start)
+        self._last_use[stored.start] = now
+
+    def on_insert(self, now: int, set_index: int, stored: StoredPW) -> None:
+        self.rrpv.on_insert(stored.start)
+        self._last_use[stored.start] = now
+
+    def on_evict(self, now: int, set_index: int, stored: StoredPW,
+                 reason: EvictionReason) -> None:
+        self.rrpv.on_evict(stored.start)
+        self._last_use.pop(stored.start, None)
+
+    def victim_order(self, now: int, set_index: int, incoming: StoredPW,
+                     resident: Sequence[StoredPW]) -> list[StoredPW]:
+        return self.rrpv.victim_order(resident, self._last_use)

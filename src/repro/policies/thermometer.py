@@ -1,0 +1,77 @@
+"""Thermometer: profile-guided replacement (Song et al., ISCA'22).
+
+Thermometer profiles an application, classifies entries into *hot*,
+*warm* and *cold* by whole-execution hit rate, and embeds the class in
+the binary.  Online, cold entries are evicted before warm ones and warm
+before hot, with LRU breaking ties.  The paper's critique (Section
+III-E) — which FURBYS addresses — is that the static three-class scheme
+"lacks the mechanism to adjust to the transient pattern": a globally
+hot PW that goes locally cold is never evicted in time.
+
+Use :func:`repro.profiling.hitrate.three_class_profile` to derive the
+``classes`` input from a profiling run.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..core.pw import PWLookup, StoredPW
+from ..uopcache.replacement import EvictionReason, ReplacementPolicy
+
+COLD, WARM, HOT = 0, 1, 2
+
+
+class ThermometerPolicy(ReplacementPolicy):
+    """Thermometer adapted to PW granularity.
+
+    ``classes`` maps PW start address to COLD/WARM/HOT; unprofiled PWs
+    are treated as cold, as they would be without a binary hint.
+    """
+
+    name = "thermometer"
+
+    def __init__(self, classes: Mapping[int, int] | None = None) -> None:
+        super().__init__()
+        self._classes = dict(classes or {})
+
+    def reset(self) -> None:
+        self._last_use: dict[int, int] = {}
+
+    def temperature(self, start: int) -> int:
+        return self._classes.get(start, COLD)
+
+    def on_hit(self, now: int, set_index: int, stored: StoredPW,
+               lookup: PWLookup) -> None:
+        self._last_use[stored.start] = now
+
+    def on_partial_hit(self, now: int, set_index: int, stored: StoredPW,
+                       lookup: PWLookup) -> None:
+        self._last_use[stored.start] = now
+
+    def on_insert(self, now: int, set_index: int, stored: StoredPW) -> None:
+        self._last_use[stored.start] = now
+
+    def on_evict(self, now: int, set_index: int, stored: StoredPW,
+                 reason: EvictionReason) -> None:
+        self._last_use.pop(stored.start, None)
+
+    def should_bypass(self, now: int, set_index: int, incoming: StoredPW,
+                      resident: Sequence[StoredPW], need_ways: int) -> bool:
+        # A cold insertion never displaces a hot resident set (but free
+        # space is always used).
+        if need_ways <= 0:
+            return False
+        if self.temperature(incoming.start) != COLD or not resident:
+            return False
+        return all(self.temperature(pw.start) == HOT for pw in resident)
+
+    def victim_order(self, now: int, set_index: int, incoming: StoredPW,
+                     resident: Sequence[StoredPW]) -> list[StoredPW]:
+        return sorted(
+            resident,
+            key=lambda pw: (
+                self.temperature(pw.start),
+                self._last_use.get(pw.start, -1),
+            ),
+        )

@@ -1,0 +1,15 @@
+"""Power modeling: CACTI-style structure energies + McPAT-style core
+aggregation + performance-per-watt (Figures 2, 9, 13, 14, 17)."""
+
+from .cacti import StructureEnergy, cacti_estimate
+from .mcpat import CorePowerModel, EnergyBreakdown
+from .ppw import performance_per_watt, ppw_gain
+
+__all__ = [
+    "StructureEnergy",
+    "cacti_estimate",
+    "CorePowerModel",
+    "EnergyBreakdown",
+    "performance_per_watt",
+    "ppw_gain",
+]

@@ -1,0 +1,49 @@
+"""Performance-per-watt: the paper's headline efficiency metric.
+
+Performance-per-watt is "the number of instructions executed per Joule
+of energy" (Section I): IPC × frequency / power = instructions /
+energy.  Gains are reported relative to the LRU baseline (Figures 2, 9,
+17).
+"""
+
+from __future__ import annotations
+
+from ..config import SimulationConfig
+from ..core.stats import SimulationStats
+from .mcpat import CorePowerModel
+
+
+def performance_per_watt(
+    config: SimulationConfig,
+    stats: SimulationStats,
+    *,
+    uop_cache_present: bool = True,
+    model: CorePowerModel | None = None,
+) -> float:
+    """Instructions per joule for one run."""
+    if model is None:
+        model = CorePowerModel(config)
+    timing = model.timing(stats)
+    energy = model.breakdown(
+        stats, timing, uop_cache_present=uop_cache_present
+    ).total
+    if energy <= 0:
+        return 0.0
+    return stats.instructions / energy
+
+
+def ppw_gain(
+    config: SimulationConfig,
+    stats: SimulationStats,
+    baseline: SimulationStats,
+    *,
+    model: CorePowerModel | None = None,
+) -> float:
+    """Relative performance-per-watt gain over a baseline (0.031 = +3.1%)."""
+    if model is None:
+        model = CorePowerModel(config)
+    new = performance_per_watt(config, stats, model=model)
+    old = performance_per_watt(config, baseline, model=model)
+    if old == 0:
+        return 0.0
+    return new / old - 1.0

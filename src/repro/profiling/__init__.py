@@ -1,0 +1,27 @@
+"""FURBYS profiling pipeline (Figure 6, STEP 1-7).
+
+Turns a trace (simulated Intel PT recording) into per-PW weight-group
+hints by replaying the trace under FLACK, measuring whole-execution hit
+rates, clustering them with Jenks natural breaks, and injecting the
+3-bit group into each PW's terminating branch.
+"""
+
+from .hints import HintMap, build_hints
+from .hitrate import collect_hit_rates, three_class_profile
+from .jenks import jenks_breaks, jenks_group
+from .pipeline import FurbysProfile, make_furbys, profile_application
+from .ptrace import record_lookup_sequence, simulate_pt_collection
+
+__all__ = [
+    "HintMap",
+    "build_hints",
+    "collect_hit_rates",
+    "three_class_profile",
+    "jenks_breaks",
+    "jenks_group",
+    "FurbysProfile",
+    "make_furbys",
+    "profile_application",
+    "record_lookup_sequence",
+    "simulate_pt_collection",
+]

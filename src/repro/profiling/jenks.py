@@ -1,0 +1,108 @@
+"""Jenks natural breaks (Fisher's optimal 1-D classification).
+
+FURBYS groups PWs into 8 weight classes by whole-execution hit rate
+using Jenks natural breaks, which "determines the optimal arrangement
+of values into distinct classes by minimizing within-class variance and
+maximizing between-class variance" (Section V).
+
+The exact algorithm is the Fisher/Jenks dynamic program — equivalent to
+optimal one-dimensional k-means on sum-of-squared-error.  It is
+O(k·n²); to keep profiling fast at trace scale, inputs larger than
+``max_points`` are first aggregated into a weighted quantization, which
+leaves the break positions essentially unchanged for the smooth hit-
+rate distributions seen here (the DP below supports weights natively).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ProfilingError
+
+
+def _quantize(values: np.ndarray, max_points: int) -> tuple[np.ndarray, np.ndarray]:
+    """Aggregate sorted values into at most ``max_points`` weighted points."""
+    lo, hi = float(values[0]), float(values[-1])
+    if hi <= lo:
+        return np.array([lo]), np.array([float(len(values))])
+    edges = np.linspace(lo, hi, max_points + 1)
+    bins = np.clip(np.searchsorted(edges, values, side="right") - 1, 0, max_points - 1)
+    counts = np.bincount(bins, minlength=max_points).astype(float)
+    sums = np.bincount(bins, weights=values, minlength=max_points)
+    mask = counts > 0
+    return sums[mask] / counts[mask], counts[mask]
+
+
+def jenks_breaks(
+    values: list[float] | np.ndarray,
+    n_classes: int,
+    *,
+    max_points: int = 384,
+) -> list[float]:
+    """Optimal class break values (upper bounds of each class).
+
+    Returns ``n_classes`` ascending break values; a value ``v`` belongs
+    to the first class whose break is ``>= v``.  With fewer distinct
+    values than classes, the distinct values themselves become breaks
+    (padded with the maximum).
+    """
+    if n_classes <= 0:
+        raise ProfilingError("n_classes must be positive")
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise ProfilingError("cannot compute breaks of an empty sequence")
+    data = np.sort(data)
+    points, weights = (
+        _quantize(data, max_points) if data.size > max_points else (
+            data.astype(float), np.ones(data.size)
+        )
+    )
+    n = points.size
+    k = min(n_classes, n)
+
+    # Prefix sums for O(1) weighted SSE of any segment [i, j).
+    w = np.concatenate([[0.0], np.cumsum(weights)])
+    wx = np.concatenate([[0.0], np.cumsum(weights * points)])
+    wxx = np.concatenate([[0.0], np.cumsum(weights * points * points)])
+
+    def sse(i: int, j: int) -> float:
+        weight = w[j] - w[i]
+        if weight <= 0:
+            return 0.0
+        mean = (wx[j] - wx[i]) / weight
+        return (wxx[j] - wxx[i]) - weight * mean * mean
+
+    # DP over (classes, points): cost[c][j] = best SSE for first j points
+    # in c classes; split[c][j] = start of the last class.
+    infinity = float("inf")
+    cost = [[infinity] * (n + 1) for _ in range(k + 1)]
+    split = [[0] * (n + 1) for _ in range(k + 1)]
+    cost[0][0] = 0.0
+    for c in range(1, k + 1):
+        for j in range(c, n + 1):
+            best, best_i = infinity, c - 1
+            for i in range(c - 1, j):
+                candidate = cost[c - 1][i] + sse(i, j)
+                if candidate < best:
+                    best, best_i = candidate, i
+            cost[c][j] = best
+            split[c][j] = best_i
+
+    # Recover break values (upper bound of each class).
+    breaks: list[float] = []
+    j = n
+    for c in range(k, 0, -1):
+        breaks.append(float(points[j - 1]))
+        j = split[c][j]
+    breaks.reverse()
+    while len(breaks) < n_classes:
+        breaks.append(breaks[-1])
+    return breaks
+
+
+def jenks_group(value: float, breaks: list[float]) -> int:
+    """Class index (0 = lowest) of ``value`` under ``breaks``."""
+    for index, bound in enumerate(breaks):
+        if value <= bound:
+            return index
+    return len(breaks) - 1

@@ -1,0 +1,92 @@
+"""End-to-end FURBYS profiling (Figure 6, STEP 1-7).
+
+``profile_application`` runs the offline stages (2-6): record the
+lookup sequence, replay it under FLACK, compute whole-execution hit
+rates, group them with Jenks natural breaks, and emit the hint map.
+``make_furbys`` packages the result with a
+:class:`~repro.policies.furbys.FurbysPolicy` ready for the online
+deployment stage (7) through
+:class:`~repro.frontend.pipeline.FrontendPipeline`'s ``hints`` input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import SimulationConfig
+from ..core.trace import Trace
+from ..policies.furbys import FurbysPolicy
+from .hints import HintMap, build_hints, merge_hints
+from .hitrate import collect_hit_rates
+from .ptrace import record_lookup_sequence
+
+
+@dataclass(slots=True)
+class FurbysProfile:
+    """Output of the offline profiling stages."""
+
+    hints: HintMap
+    hit_rates: dict[int, float] = field(repr=False, default_factory=dict)
+    source: str = "flack"
+    n_bits: int = 3
+    scope: str = "per_set"
+
+    @property
+    def n_groups(self) -> int:
+        return 1 << self.n_bits
+
+    def merged_with(self, *others: "FurbysProfile") -> "FurbysProfile":
+        """Combine profiles from several training inputs (Figure 18)."""
+        return FurbysProfile(
+            hints=merge_hints([self.hints, *[o.hints for o in others]]),
+            source=self.source,
+            n_bits=self.n_bits,
+            scope=self.scope,
+        )
+
+
+def profile_application(
+    trace: Trace,
+    config: SimulationConfig,
+    *,
+    source: str = "flack",
+    n_bits: int = 3,
+    scope: str = "per_set",
+) -> FurbysProfile:
+    """Run STEP 2-6 on a training trace.
+
+    ``source`` selects the offline decision generator (``flack``,
+    ``belady`` or ``foo`` — the Figure 15 comparison); ``n_bits`` the
+    hint width (Figure 19); ``scope`` the weight granularity.
+    """
+    record_lookup_sequence(trace)  # STEP 2 (identity here; see ptrace.py)
+    hit_rates = collect_hit_rates(trace, config, source=source)  # STEP 3-5
+    hints = build_hints(  # STEP 6
+        trace,
+        hit_rates,
+        n_bits=n_bits,
+        scope=scope,
+        n_sets=config.uop_cache.sets,
+    )
+    return FurbysProfile(
+        hints=hints, hit_rates=hit_rates, source=source, n_bits=n_bits, scope=scope
+    )
+
+
+def make_furbys(
+    profile: FurbysProfile,
+    *,
+    bypass_enabled: bool = True,
+    pitfall_depth: int = 2,
+) -> tuple[FurbysPolicy, HintMap]:
+    """STEP 7 inputs: the policy and the hints for the deployment run.
+
+    Pass both to the frontend::
+
+        policy, hints = make_furbys(profile)
+        pipeline = FrontendPipeline(config, policy, hints=hints)
+    """
+    policy = FurbysPolicy(
+        bypass_enabled=bypass_enabled, pitfall_depth=pitfall_depth
+    )
+    return policy, profile.hints

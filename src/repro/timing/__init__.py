@@ -1,0 +1,5 @@
+"""Analytic timing model (IPC estimation from frontend event counts)."""
+
+from .model import TimingModel, TimingResult
+
+__all__ = ["TimingModel", "TimingResult"]

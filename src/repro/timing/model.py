@@ -1,0 +1,114 @@
+"""Analytic IPC model.
+
+The paper's IPC effects are small and indirect (Section VI-C): a 14.34%
+micro-op cache miss reduction buys only ~0.5% IPC, because (a) the
+decoupled frontend hides most decode latency behind queueing, (b) the
+low-latency benefit only materializes when the frontend is restarting
+after a branch miss, and (c) one PW per cycle caps fetch bandwidth.
+Replicating that requires an *exposure* model, not a full cycle-level
+core: frontend penalty cycles are accumulated from the event counts the
+behavioural simulator produces and only a calibrated fraction of them
+(``frontend_exposure``) lands on the critical path; mispredictions and
+BTB resteers are fully exposed.
+
+This is the "miss reduction only partially translates into performance
+gain" behaviour the paper reports, with the same ordering across
+policies — which is what Figures 11 and 12 need.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import SimulationConfig
+from ..core.stats import SimulationStats
+
+#: Fraction of frontend supply-*bandwidth* cycles that are
+#: performance-critical (the decoupled frontend and micro-op queue hide
+#: the rest).  Calibrated so the miss-reduction→IPC conversion ratio
+#: matches the paper's (14.34% misses → ~0.49% IPC, Section VI-C).
+DEFAULT_FRONTEND_EXPOSURE = 0.12
+#: Fraction of switch/pipeline-fill bubbles that are critical: these
+#: latency (not bandwidth) events overlap the micro-op queue drain
+#: except right after a frontend restart (Section VI-C: "the benefit of
+#: this low latency can only be translated into frontend throughput
+#: when the frontend recovers from a branch miss").
+DEFAULT_BUBBLE_EXPOSURE = 0.02
+#: Frontend resteer penalty for a BTB miss (cycles).
+BTB_RESTEER_CYCLES = 8
+
+
+@dataclass(frozen=True, slots=True)
+class TimingResult:
+    """Cycle accounting for one simulated run."""
+
+    instructions: int
+    cycles: float
+    backend_cycles: float
+    frontend_penalty_cycles: float
+    flush_cycles: float
+
+    @property
+    def ipc(self) -> float:
+        if self.cycles <= 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    def speedup_vs(self, baseline: "TimingResult") -> float:
+        """Relative IPC speedup (0.005 = +0.5%)."""
+        if baseline.ipc == 0:
+            return 0.0
+        return self.ipc / baseline.ipc - 1.0
+
+
+class TimingModel:
+    """Estimate cycles/IPC from simulation statistics."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        *,
+        frontend_exposure: float = DEFAULT_FRONTEND_EXPOSURE,
+        bubble_exposure: float = DEFAULT_BUBBLE_EXPOSURE,
+    ) -> None:
+        self.config = config
+        self.frontend_exposure = frontend_exposure
+        self.bubble_exposure = bubble_exposure
+
+    def evaluate(self, stats: SimulationStats) -> TimingResult:
+        core = self.config.core
+        uop_cfg = self.config.uop_cache
+
+        # Backend bound: issue width over all micro-ops.
+        backend = stats.uops_total / core.issue_width
+
+        # Frontend supply path:
+        #  * micro-op cache path: one PW per cycle;
+        #  * legacy path: decode-width-limited, plus pipeline fill on
+        #    every switch to the legacy pipe, plus the 1-cycle switch
+        #    overhead each way (Section II-B).
+        uop_path = stats.pw_hits + stats.pw_partial_hits
+        decoded_insts = stats.decoder_uops / 1.1  # uops->insts (avg cracking)
+        legacy = math.ceil(decoded_insts / core.decode_width)
+        switches = stats.path_switches * uop_cfg.switch_delay
+        to_legacy_switches = stats.path_switches / 2.0
+        fills = to_legacy_switches * core.decode_latency_cycles
+        frontend_penalty = (
+            self.frontend_exposure * (uop_path + legacy)
+            + self.bubble_exposure * (switches + fills)
+        )
+
+        flushes = (
+            stats.mispredictions * self.config.branch.misprediction_penalty_cycles
+            + stats.btb_misses * BTB_RESTEER_CYCLES
+        )
+
+        cycles = backend + frontend_penalty + flushes
+        return TimingResult(
+            instructions=stats.instructions,
+            cycles=cycles,
+            backend_cycles=backend,
+            frontend_penalty_cycles=frontend_penalty,
+            flush_cycles=flushes,
+        )

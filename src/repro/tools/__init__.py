@@ -1,0 +1,5 @@
+"""Developer tooling: trace generation and inspection CLIs."""
+
+from .trace_tool import main as trace_tool_main
+
+__all__ = ["trace_tool_main"]

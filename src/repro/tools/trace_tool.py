@@ -1,0 +1,124 @@
+"""``repro-trace`` — generate, inspect and summarize PW traces.
+
+Subcommands::
+
+    repro-trace generate kafka out.trace --lookups 40000 --input alt-seed
+    repro-trace stats out.trace
+    repro-trace head out.trace --count 20
+    repro-trace apps
+
+Traces use the line-oriented v1 text format of
+:mod:`repro.core.trace`, so they diff and compress well and can be fed
+back through :meth:`repro.core.trace.Trace.load` for custom studies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+
+from ..core.trace import Trace
+from ..workloads.apps import app_names, get_profile
+from ..workloads.generator import reuse_distance_tail
+from ..workloads.registry import available_inputs, get_trace
+
+
+def _cmd_apps(_: argparse.Namespace) -> int:
+    for app in app_names():
+        profile = get_profile(app)
+        inputs = ",".join(available_inputs(app))
+        print(f"{app:12s} mpki={profile.branch_mpki:<5} "
+              f"functions={profile.functions:<5} inputs={inputs}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    trace = get_trace(args.app, args.input, args.lookups)
+    trace.save(args.output)
+    print(f"wrote {len(trace)} lookups ({trace.total_uops} uops) "
+          f"to {args.output}")
+    return 0
+
+
+def _cmd_head(args: argparse.Namespace) -> int:
+    trace = Trace.load(args.trace)
+    print("start        uops insts bytes branch mispred")
+    for lookup in trace.lookups[: args.count]:
+        print(f"{lookup.start:#010x}  {lookup.uops:4d} {lookup.insts:5d} "
+              f"{lookup.bytes_len:5d} {int(lookup.terminated_by_branch):6d} "
+              f"{int(lookup.mispredicted):7d}")
+    return 0
+
+
+def _histogram(counter: Counter, *, width: int = 40) -> list[str]:
+    total = sum(counter.values())
+    lines = []
+    for key in sorted(counter):
+        share = counter[key] / total
+        bar = "#" * max(1, round(share * width))
+        lines.append(f"  {key:>4}: {bar} {share * 100:.1f}%")
+    return lines
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    trace = Trace.load(args.trace)
+    meta = trace.metadata
+    insts = trace.total_instructions
+    print(f"app={meta.app} input={meta.input_name} seed={meta.seed}")
+    print(f"lookups            : {len(trace)}")
+    print(f"micro-ops          : {trace.total_uops} "
+          f"({trace.total_uops / max(1, len(trace)):.2f}/PW)")
+    print(f"instructions       : {insts}")
+    print(f"distinct PW starts : {len(trace.unique_starts())}")
+    print(f"branch PWs         : {trace.total_branches} "
+          f"({trace.total_branches / max(1, len(trace)) * 100:.1f}%)")
+    print(f"mispredict MPKI    : "
+          f"{1000 * trace.total_mispredictions / max(1, insts):.2f}")
+    sizes = Counter(min(4, (pw.uops + 7) // 8) for pw in trace)
+    print("PW size distribution (entries, 4 = 4+):")
+    print("\n".join(_histogram(sizes)))
+    if args.reuse:
+        sample = trace.slice(0, min(len(trace), 8000))
+        tail = reuse_distance_tail(sample, threshold=30)
+        print(f"reuse distance > 30 (first {len(sample)} lookups): "
+              f"{tail * 100:.1f}% of reuses")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Generate and inspect micro-op cache PW traces.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("apps", help="list available applications")
+
+    generate = commands.add_parser("generate", help="write a trace file")
+    generate.add_argument("app")
+    generate.add_argument("output")
+    generate.add_argument("--input", default="default")
+    generate.add_argument("--lookups", type=int, default=None)
+
+    head = commands.add_parser("head", help="print the first lookups")
+    head.add_argument("trace")
+    head.add_argument("--count", type=int, default=20)
+
+    stats = commands.add_parser("stats", help="summarize a trace file")
+    stats.add_argument("trace")
+    stats.add_argument("--reuse", action="store_true",
+                       help="also compute the reuse-distance tail (slow)")
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "apps": _cmd_apps,
+        "generate": _cmd_generate,
+        "head": _cmd_head,
+        "stats": _cmd_stats,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

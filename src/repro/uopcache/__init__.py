@@ -1,0 +1,22 @@
+"""Micro-op cache model: PW storage, partial hits, replacement interface."""
+
+from .cache import CacheSet, UopCache
+from .replacement import (
+    BYPASS,
+    Bypass,
+    Decision,
+    EvictionReason,
+    ReplacementPolicy,
+    Victims,
+)
+
+__all__ = [
+    "CacheSet",
+    "UopCache",
+    "BYPASS",
+    "Bypass",
+    "Decision",
+    "EvictionReason",
+    "ReplacementPolicy",
+    "Victims",
+]

@@ -1,0 +1,31 @@
+"""Synthetic data-center workloads (the paper's Table II applications).
+
+The paper drives its simulator with Intel PT traces of 11 open-source
+data-center applications.  Those traces are not redistributable here, so
+this package synthesizes statistically comparable PW lookup streams:
+per-application control-flow graphs (functions, loops, biased branches,
+calls, execution phases) are walked deterministically to produce dynamic
+prediction-window traces whose code footprint, branch MPKI, PW size/cost
+distribution and reuse-distance tail are calibrated to the paper's
+reported statistics.  See DESIGN.md §2 for the substitution argument.
+"""
+
+from .apps import APP_PROFILES, AppProfile, app_names
+from .cfg import BasicBlock, CodeFunction, ProgramCFG, build_cfg
+from .generator import TraceGenerator, generate_trace
+from .registry import available_inputs, clear_trace_cache, get_trace
+
+__all__ = [
+    "APP_PROFILES",
+    "AppProfile",
+    "app_names",
+    "BasicBlock",
+    "CodeFunction",
+    "ProgramCFG",
+    "build_cfg",
+    "TraceGenerator",
+    "generate_trace",
+    "available_inputs",
+    "clear_trace_cache",
+    "get_trace",
+]

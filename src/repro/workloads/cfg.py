@@ -1,0 +1,213 @@
+"""Static code model: synthetic control-flow graphs.
+
+An application's static code is modelled as a set of *functions*, each a
+contiguous run of *basic blocks*.  Every block carries deterministic
+per-instruction byte sizes and micro-op counts (x86 instructions are
+variable length and may crack into several micro-ops), a terminating
+conditional branch with a fixed taken bias, and an optional call edge.
+
+The layout is byte-accurate so prediction-window formation can honour
+icache-line boundaries, and so the inclusive icache can invalidate the
+micro-op cache by byte range.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+#: Instruction byte sizes sampled for synthetic x86 code; the weights give
+#: a mean close to the ~3.7 bytes/inst observed for server binaries.
+_INST_SIZES = (1, 2, 3, 4, 5, 6, 7, 8)
+_INST_SIZE_WEIGHTS = (4, 12, 22, 24, 16, 12, 6, 4)
+
+#: Micro-ops per instruction: most decode to one, some crack into 2-4.
+_UOP_COUNTS = (1, 2, 3, 4)
+_UOP_WEIGHTS = (78, 16, 4, 2)
+
+
+@dataclass(slots=True)
+class BasicBlock:
+    """One static basic block, ending in a conditional branch.
+
+    ``inst_ends`` holds cumulative byte offsets (relative to ``addr``) of
+    each instruction's end; ``uop_prefix`` holds cumulative micro-op
+    counts.  Both let the PW builder split a block at an icache-line
+    boundary at instruction granularity.
+    """
+
+    addr: int
+    inst_ends: tuple[int, ...]
+    uop_prefix: tuple[int, ...]
+    #: Probability the terminating branch is taken.
+    taken_bias: float
+    #: Probability that a *taken* outcome skips the next block (if/else
+    #: shape) rather than targeting it directly.
+    skip_bias: float
+    #: Probability the terminating branch is mispredicted, per execution.
+    mispredict_rate: float
+    #: Index of a callee function, or -1 for no call edge.
+    callee: int = -1
+    #: Probability the call edge is followed on a given execution.
+    call_bias: float = 0.0
+
+    @property
+    def insts(self) -> int:
+        return len(self.inst_ends)
+
+    @property
+    def bytes_len(self) -> int:
+        return self.inst_ends[-1]
+
+    @property
+    def uops(self) -> int:
+        return self.uop_prefix[-1]
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.bytes_len
+
+
+@dataclass(slots=True)
+class CodeFunction:
+    """A function: contiguous blocks executed as a counted loop.
+
+    Execution iterates the block sequence ``mean_iterations`` times on
+    average (geometric), with per-block conditional branches deciding
+    skips, and optional call edges into other functions.
+    """
+
+    index: int
+    blocks: list[BasicBlock]
+    mean_iterations: float
+
+    @property
+    def addr(self) -> int:
+        return self.blocks[0].addr
+
+    @property
+    def end(self) -> int:
+        return self.blocks[-1].end
+
+    @property
+    def bytes_len(self) -> int:
+        return self.end - self.addr
+
+
+@dataclass(slots=True)
+class ProgramCFG:
+    """The complete static code image of one synthetic application."""
+
+    functions: list[CodeFunction] = field(default_factory=list)
+    code_base: int = 0x400000
+
+    @property
+    def total_blocks(self) -> int:
+        return sum(len(f.blocks) for f in self.functions)
+
+    @property
+    def total_insts(self) -> int:
+        return sum(b.insts for f in self.functions for b in f.blocks)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(f.bytes_len for f in self.functions)
+
+
+def _build_block(
+    rng: random.Random,
+    addr: int,
+    insts: int,
+    taken_bias: float,
+    skip_bias: float,
+    mispredict_rate: float,
+) -> BasicBlock:
+    """Materialize one block with deterministic instruction layout."""
+    ends: list[int] = []
+    uops: list[int] = []
+    offset = 0
+    total_uops = 0
+    for _ in range(insts):
+        offset += rng.choices(_INST_SIZES, _INST_SIZE_WEIGHTS)[0]
+        total_uops += rng.choices(_UOP_COUNTS, _UOP_WEIGHTS)[0]
+        ends.append(offset)
+        uops.append(total_uops)
+    return BasicBlock(
+        addr=addr,
+        inst_ends=tuple(ends),
+        uop_prefix=tuple(uops),
+        taken_bias=taken_bias,
+        skip_bias=skip_bias,
+        mispredict_rate=mispredict_rate,
+    )
+
+
+def build_cfg(
+    *,
+    seed: int,
+    functions: int,
+    blocks_per_function: tuple[int, int],
+    insts_per_block: tuple[int, int],
+    taken_bias_range: tuple[float, float] = (0.15, 0.9),
+    mean_iterations: float = 6.0,
+    call_fraction: float = 0.15,
+    mispredict_scale: float = 0.02,
+    code_base: int = 0x400000,
+    function_gap_bytes: int = 48,
+) -> ProgramCFG:
+    """Synthesize a program CFG deterministically from ``seed``.
+
+    ``call_fraction`` is the fraction of blocks carrying a call edge;
+    ``mispredict_scale`` sets the mean per-branch misprediction
+    probability (a small set of "hard" branches gets a much higher rate,
+    reproducing the skew real predictors see).
+    """
+    if functions <= 0:
+        raise ConfigurationError("a program needs at least one function")
+    lo_b, hi_b = blocks_per_function
+    lo_i, hi_i = insts_per_block
+    if lo_b <= 0 or hi_b < lo_b or lo_i <= 0 or hi_i < lo_i:
+        raise ConfigurationError("block/instruction ranges must be positive and ordered")
+
+    rng = random.Random(seed)
+    cfg = ProgramCFG(code_base=code_base)
+    addr = code_base
+    for findex in range(functions):
+        nblocks = rng.randint(lo_b, hi_b)
+        blocks: list[BasicBlock] = []
+        for _ in range(nblocks):
+            insts = rng.randint(lo_i, hi_i)
+            # Bimodal biases: real branches are mostly strongly biased,
+            # which keeps each function's dominant PW decomposition
+            # stable across invocations (rare paths still occur).
+            lo_t, hi_t = taken_bias_range
+            if rng.random() < 0.5:
+                taken = lo_t + (hi_t - lo_t) * rng.uniform(0.0, 0.12)
+            else:
+                taken = lo_t + (hi_t - lo_t) * rng.uniform(0.88, 1.0)
+            skip = rng.uniform(0.0, 0.15)
+            # A few branches are hard to predict; most are easy.
+            if rng.random() < 0.08:
+                mispredict = min(0.35, rng.expovariate(1.0 / (mispredict_scale * 8)))
+            else:
+                mispredict = min(0.05, rng.expovariate(1.0 / mispredict_scale) * 0.1)
+            block = _build_block(rng, addr, insts, taken, skip, mispredict)
+            blocks.append(block)
+            addr = block.end
+        iters = max(1.0, rng.gauss(mean_iterations, mean_iterations / 2.0))
+        cfg.functions.append(CodeFunction(findex, blocks, iters))
+        addr += function_gap_bytes
+        # Nudge alignment so functions start at varied line offsets.
+        addr += rng.randrange(0, 32)
+
+    # Wire call edges after all functions exist so callees can be anywhere.
+    for function in cfg.functions:
+        for block in function.blocks:
+            if rng.random() < call_fraction and len(cfg.functions) > 1:
+                callee = rng.randrange(len(cfg.functions))
+                if callee != function.index:
+                    block.callee = callee
+                    block.call_bias = rng.uniform(0.3, 0.9)
+    return cfg

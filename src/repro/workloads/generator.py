@@ -1,0 +1,410 @@
+"""Dynamic trace generation: walking a CFG into a PW lookup stream.
+
+The generator executes a :class:`~repro.workloads.cfg.ProgramCFG` the way
+a decoupled frontend would observe it (Section II-B of the paper):
+
+* execution follows blocks, sampling each terminating conditional branch
+  against its bias;
+* a prediction window accumulates instructions from a control-flow
+  target until the first predicted-taken branch, or until the next
+  instruction would start outside the icache line of the PW's start
+  (PWs are "terminated by the last instruction of a cache line");
+* *phases* periodically shift which functions are hot, producing the
+  globally-cold-but-locally-hot windows that motivate FURBYS's local
+  miss-pitfall detector (Section V).
+
+Because the static code image is deterministic, two dynamic PWs with the
+same start address and same branch outcomes are identical — and the same
+start with a different outcome on an internal branch yields the
+overlapping same-start/different-length windows of Section II-D.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from dataclasses import dataclass
+
+from ..core.pw import PWLookup
+from ..core.trace import Trace, TraceMetadata
+from ..errors import ConfigurationError
+from .cfg import BasicBlock, ProgramCFG
+
+
+class _TraceComplete(Exception):
+    """Internal signal: the requested number of lookups was emitted."""
+
+
+@dataclass(slots=True)
+class _PendingPW:
+    """Prediction window being accumulated."""
+
+    start: int = -1
+    line: int = -1
+    uops: int = 0
+    insts: int = 0
+    end: int = 0
+    #: The window includes a block-terminating (branch) instruction.
+    has_branch: bool = False
+
+    @property
+    def empty(self) -> bool:
+        return self.start < 0
+
+    def reset(self) -> None:
+        self.start = -1
+        self.line = -1
+        self.uops = 0
+        self.insts = 0
+        self.end = 0
+        self.has_branch = False
+
+
+class TraceGenerator:
+    """Walk a CFG and emit a deterministic PW lookup trace.
+
+    Parameters mirror the application-profile knobs in
+    :mod:`repro.workloads.apps`; see :func:`generate_trace` for the
+    common entry point.
+    """
+
+    #: Maximum modelled call depth (beyond it, call edges are ignored).
+    MAX_CALL_DEPTH = 2
+
+    def __init__(
+        self,
+        cfg: ProgramCFG,
+        *,
+        seed: int,
+        zipf_alpha: float = 1.1,
+        phase_length: int = 4000,
+        phase_count: int = 4,
+        in_phase_bias: float = 0.85,
+        phase_loop_length: int = 90,
+        phase_stability: float = 0.7,
+        structure_seed: int | None = None,
+        line_bytes: int = 64,
+        target_mispredict_mpki: float | None = None,
+    ) -> None:
+        if not cfg.functions:
+            raise ConfigurationError("cannot generate a trace from an empty CFG")
+        if phase_count <= 0 or phase_length <= 0:
+            raise ConfigurationError("phase_count and phase_length must be positive")
+        self._cfg = cfg
+        self._seed = seed
+        self._rng = random.Random(seed)
+        self._line_bytes = line_bytes
+        self._target_mpki = target_mispredict_mpki
+        self._phase_length = phase_length
+        self._in_phase_bias = in_phase_bias
+        self._lookups: list[PWLookup] = []
+        self._limit = 0
+        self._pending = _PendingPW()
+        self._mispredict_mult = self._calibrate_mispredictions(
+            target_mispredict_mpki
+        )
+        # Per-branch Bresenham accumulators: outcomes follow the branch's
+        # bias as a deterministic periodic pattern, so both directions of
+        # every branch surface early (matching steady-state code, where
+        # rare paths are rare but not forever-unseen) instead of as an
+        # unbounded random novelty tail.
+        self._outcome_acc: dict[int, float] = {}
+
+        nfuncs = len(cfg.functions)
+        weights = [1.0 / (rank + 1) ** zipf_alpha for rank in range(nfuncs)]
+        total = sum(weights)
+        cumulative = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            cumulative.append(acc)
+        self._zipf_cdf = cumulative
+        # Each phase gets its own hotness permutation so different
+        # functions are hot in different program phases — but the top
+        # ``phase_stability`` fraction of hotness ranks maps to the same
+        # functions in every phase.  Real services keep their core
+        # request paths hot across phases; only peripheral features
+        # rotate, and those rotating functions are what exercises
+        # FURBYS's local miss-pitfall detector.
+        # Phase permutations and request loops describe the *binary's*
+        # handler structure, not one run's randomness: they derive from
+        # ``structure_seed`` so different inputs of the same application
+        # share them (the property the Figure 18 cross-validation
+        # depends on), while the walk itself still differs per input.
+        if structure_seed is None:
+            structure_seed = seed
+        perm_rng = random.Random(structure_seed ^ 0x5EED)
+        stable = round(nfuncs * min(1.0, max(0.0, phase_stability)))
+        self._phase_perms: list[list[int]] = []
+        for _ in range(phase_count):
+            tail = list(range(stable, nfuncs))
+            perm_rng.shuffle(tail)
+            self._phase_perms.append(list(range(stable)) + tail)
+        # Each phase serves requests through a fixed *request loop* — a
+        # cyclic sequence of handler functions, as a server iterating
+        # over its request-processing paths.  Cyclic working sets larger
+        # than the micro-op cache are what make replacement policy
+        # quality matter (LRU degenerates on them; Section III-B).
+        #
+        # All phases share a stable core (the service's main request
+        # paths — the paper's "warm" PWs, which profile-guided policies
+        # learn to keep); each phase replaces the remaining
+        # ``1 - phase_stability`` of the loop with its own functions,
+        # producing the locally-hot-but-globally-cold windows that
+        # exercise the miss-pitfall detector.
+        base_loop: list[int] = []
+        for _ in range(max(1, phase_loop_length)):
+            rank = bisect.bisect_left(self._zipf_cdf, perm_rng.random())
+            base_loop.append(min(rank, nfuncs - 1))
+        self._phase_loops: list[list[int]] = []
+        stability = min(1.0, max(0.0, phase_stability))
+        for perm in self._phase_perms:
+            loop = list(base_loop)
+            for slot in range(len(loop)):
+                if perm_rng.random() >= stability:
+                    rank = bisect.bisect_left(self._zipf_cdf, perm_rng.random())
+                    loop[slot] = perm[min(rank, nfuncs - 1)]
+            self._phase_loops.append(loop)
+        self._loop_cursor = 0
+
+    # --- misprediction calibration -------------------------------------------
+
+    def _calibrate_mispredictions(self, target_mpki: float | None) -> float:
+        """Scale factor so expected mispredictions/kilo-inst ≈ target.
+
+        Uses a static estimate (uniform block usage); dynamic skew makes
+        the measured value deviate modestly, which is fine — Table II
+        only needs the per-app ordering and magnitude.
+        """
+        if target_mpki is None:
+            return 1.0
+        total_insts = self._cfg.total_insts
+        expected_mispredicts = sum(
+            block.mispredict_rate
+            for function in self._cfg.functions
+            for block in function.blocks
+        )
+        if expected_mispredicts <= 0 or total_insts <= 0:
+            return 1.0
+        current_mpki = 1000.0 * expected_mispredicts / total_insts
+        return target_mpki / current_mpki
+
+    # --- PW accumulation ------------------------------------------------------
+
+    def _emit(self, terminated_by_branch: bool, mispredicted: bool) -> None:
+        pending = self._pending
+        if pending.empty:
+            return
+        self._lookups.append(
+            PWLookup(
+                start=pending.start,
+                uops=pending.uops,
+                insts=pending.insts,
+                bytes_len=max(1, pending.end - pending.start),
+                terminated_by_branch=terminated_by_branch,
+                contains_branch=terminated_by_branch or pending.has_branch,
+                mispredicted=mispredicted,
+            )
+        )
+        pending.reset()
+        if len(self._lookups) >= self._limit:
+            raise _TraceComplete
+
+    def _consume_block(self, block: BasicBlock) -> None:
+        """Append a block's instructions, splitting at line boundaries."""
+        pending = self._pending
+        line_bytes = self._line_bytes
+        addr = block.addr
+        prev_end = 0
+        for i, inst_end in enumerate(block.inst_ends):
+            inst_start = addr + prev_end
+            line = inst_start // line_bytes
+            if pending.empty:
+                pending.start = inst_start
+                pending.line = line
+            elif line != pending.line:
+                # Line-boundary termination: not a branch PW.
+                self._emit(terminated_by_branch=False, mispredicted=False)
+                pending.start = inst_start
+                pending.line = line
+            uops = block.uop_prefix[i] - (block.uop_prefix[i - 1] if i else 0)
+            pending.uops += uops
+            pending.insts += 1
+            pending.end = addr + inst_end
+            if i == len(block.inst_ends) - 1:
+                # The block's final instruction is its branch.
+                pending.has_branch = True
+            prev_end = inst_end
+
+    # --- execution ------------------------------------------------------------
+
+    def _sample_mispredict(self, block: BasicBlock) -> bool:
+        rate = min(0.5, block.mispredict_rate * self._mispredict_mult)
+        return self._rng.random() < rate
+
+    def _periodic_outcome(self, key: int, bias: float) -> bool:
+        """Deterministic Bresenham-style outcome with long-run rate ``bias``."""
+        acc = self._outcome_acc.get(key, 0.5) + bias
+        if acc >= 1.0:
+            self._outcome_acc[key] = acc - 1.0
+            return True
+        self._outcome_acc[key] = acc
+        return False
+
+    def _run_function(self, findex: int, depth: int) -> None:
+        function = self._cfg.functions[findex]
+        blocks = function.blocks
+        # Geometric iteration count with the function's configured mean.
+        p_continue = 1.0 - 1.0 / max(1.0, function.mean_iterations)
+        iterating = True
+        while iterating:
+            i = 0
+            while i < len(blocks):
+                block = blocks[i]
+                self._consume_block(block)
+                mispredicted = self._sample_mispredict(block)
+                # Call edge: modelled as a taken call terminating the PW,
+                # with return to the next block.
+                if (
+                    block.callee >= 0
+                    and depth < self.MAX_CALL_DEPTH
+                    and self._periodic_outcome(block.addr ^ 0x1, block.call_bias)
+                ):
+                    self._emit(terminated_by_branch=True, mispredicted=mispredicted)
+                    self._run_function(block.callee, depth + 1)
+                    i += 1
+                    continue
+                last_block = i == len(blocks) - 1
+                if last_block:
+                    # Loop back edge (taken) or function exit (taken ret).
+                    iterating = self._rng.random() < p_continue
+                    self._emit(terminated_by_branch=True, mispredicted=mispredicted)
+                    break
+                if self._periodic_outcome(block.addr, block.taken_bias):
+                    self._emit(terminated_by_branch=True, mispredicted=mispredicted)
+                    if (
+                        self._periodic_outcome(block.addr ^ 0x2, block.skip_bias)
+                        and i + 2 < len(blocks)
+                    ):
+                        i += 2  # if/else shape: skip the next block
+                    else:
+                        i += 1
+                else:
+                    # Fall through: the next block joins the current PW.
+                    i += 1
+            else:
+                iterating = False
+
+    def _pick_function(self, emitted: int) -> int:
+        phase = (emitted // self._phase_length) % len(self._phase_loops)
+        if self._rng.random() < self._in_phase_bias:
+            loop = self._phase_loops[phase]
+            function = loop[self._loop_cursor % len(loop)]
+            self._loop_cursor += 1
+            return function
+        rank = bisect.bisect_left(self._zipf_cdf, self._rng.random())
+        return min(rank, len(self._zipf_cdf) - 1)
+
+    def _reset_walk(self) -> None:
+        self._rng = random.Random(self._seed)
+        self._outcome_acc.clear()
+        self._lookups = []
+        self._pending.reset()
+        self._loop_cursor = 0
+
+    def _walk(self, n_lookups: int) -> None:
+        self._limit = n_lookups
+        try:
+            # Startup sweep: initialization code touches every function
+            # once (in a shuffled order), so first-touch cold misses
+            # concentrate in the warmup window, as with real services.
+            order = list(range(len(self._cfg.functions)))
+            random.Random(self._rng.random()).shuffle(order)
+            for findex in order:
+                self._run_function(findex, depth=self.MAX_CALL_DEPTH)
+            while True:
+                findex = self._pick_function(len(self._lookups))
+                self._run_function(findex, depth=0)
+        except _TraceComplete:
+            pass
+
+    def generate(self, n_lookups: int, metadata: TraceMetadata | None = None) -> Trace:
+        """Produce a trace of exactly ``n_lookups`` PW lookups.
+
+        When a misprediction-MPKI target is set, a deterministic pilot
+        walk first measures the dynamic misprediction rate (the static
+        calibration cannot see hotness skew) and rescales the per-branch
+        rates before the real walk.
+        """
+        if n_lookups <= 0:
+            raise ConfigurationError("n_lookups must be positive")
+        if self._target_mpki is not None and self._target_mpki > 0:
+            for _ in range(2):  # two passes converge well within tolerance
+                self._reset_walk()
+                self._walk(min(n_lookups, 12000))
+                pilot = Trace(self._lookups)
+                measured = 1000.0 * pilot.total_mispredictions / max(
+                    1, pilot.total_instructions
+                )
+                if measured > 0:
+                    factor = self._target_mpki / measured
+                    self._mispredict_mult *= min(20.0, max(0.05, factor))
+        self._reset_walk()
+        self._walk(n_lookups)
+        return Trace(self._lookups, metadata or TraceMetadata())
+
+
+def generate_trace(
+    cfg: ProgramCFG,
+    n_lookups: int,
+    *,
+    seed: int,
+    zipf_alpha: float = 1.1,
+    phase_length: int = 4000,
+    phase_count: int = 4,
+    in_phase_bias: float = 0.85,
+    phase_loop_length: int = 90,
+    target_mispredict_mpki: float | None = None,
+    metadata: TraceMetadata | None = None,
+) -> Trace:
+    """One-shot helper: build a generator and produce a trace."""
+    generator = TraceGenerator(
+        cfg,
+        seed=seed,
+        zipf_alpha=zipf_alpha,
+        phase_length=phase_length,
+        phase_count=phase_count,
+        in_phase_bias=in_phase_bias,
+        phase_loop_length=phase_loop_length,
+        target_mispredict_mpki=target_mispredict_mpki,
+    )
+    return generator.generate(n_lookups, metadata)
+
+
+def reuse_distance_tail(trace: Trace, threshold: int = 30) -> float:
+    """Fraction of PW lookups whose stack reuse distance exceeds ``threshold``.
+
+    Section III-E reports that over 20% of micro-op cache PWs have a
+    reuse distance above 30 (versus 10%/2% for icache/BTB); this helper
+    lets tests assert the generator reproduces that heavy tail.
+    """
+    last_seen: dict[int, int] = {}
+    stack: list[int] = []  # most recent at the end
+    long_reuses = 0
+    reuses = 0
+    for pw in trace:
+        key = pw.start
+        if key in last_seen:
+            # Stack distance = number of distinct addresses since last use.
+            position = stack.index(key)  # O(n) but fine for test-sized traces
+            distance = len(stack) - position - 1
+            reuses += 1
+            if distance > threshold:
+                long_reuses += 1
+            stack.pop(position)
+        stack.append(key)
+        last_seen[key] = 1
+    if reuses == 0:
+        return 0.0
+    return long_reuses / reuses

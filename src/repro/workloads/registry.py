@@ -1,0 +1,85 @@
+"""Trace registry: build (and cache) traces for (app, input, length).
+
+Trace generation is deterministic, so a process-wide cache keyed by
+``(app, input, n_lookups)`` lets the many figure benches share workload
+construction.  ``REPRO_TRACE_LEN`` scales the default trace length for
+quick smoke runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..core.trace import Trace, TraceMetadata
+from .apps import AppProfile, get_profile
+from .cfg import build_cfg
+from .generator import TraceGenerator
+
+#: Default dynamic trace length (PW lookups) used by the experiments.
+#: One third is treated as warmup by the harness.
+DEFAULT_TRACE_LEN = int(os.environ.get("REPRO_TRACE_LEN", "45000"))
+
+_trace_cache: dict[tuple[str, str, int], Trace] = {}
+
+
+def available_inputs(app: str) -> tuple[str, ...]:
+    """Names of the inputs defined for an application."""
+    return tuple(inp.name for inp in get_profile(app).inputs)
+
+
+def build_app_trace(
+    profile: AppProfile, input_name: str, n_lookups: int
+) -> Trace:
+    """Construct a trace for one application input (uncached)."""
+    app_input = profile.input_named(input_name)
+    cfg = build_cfg(
+        seed=profile.base_seed,
+        functions=profile.functions,
+        blocks_per_function=profile.blocks_per_function,
+        insts_per_block=profile.insts_per_block,
+        mean_iterations=profile.mean_iterations,
+        call_fraction=profile.call_fraction,
+    )
+    generator = TraceGenerator(
+        cfg,
+        seed=profile.base_seed * 7919 + app_input.seed_offset,
+        zipf_alpha=max(0.1, profile.zipf_alpha + app_input.zipf_alpha_delta),
+        phase_length=max(1, round(profile.phase_length * app_input.phase_length_scale)),
+        phase_count=profile.phase_count,
+        in_phase_bias=min(
+            0.99, max(0.0, profile.in_phase_bias + app_input.in_phase_bias_delta)
+        ),
+        phase_loop_length=profile.phase_loop_length,
+        structure_seed=profile.base_seed,
+        target_mispredict_mpki=profile.branch_mpki,
+    )
+    metadata = TraceMetadata(
+        app=profile.name,
+        input_name=input_name,
+        seed=profile.base_seed + app_input.seed_offset,
+        description=profile.description,
+    )
+    return generator.generate(n_lookups, metadata)
+
+
+def get_trace(
+    app: str, input_name: str = "default", n_lookups: int | None = None
+) -> Trace:
+    """Return the (cached) trace for one application input.
+
+    Note: the CFG is shared across inputs of an app (same binary,
+    different inputs), while the dynamic walk differs — exactly the
+    setting of the paper's cross-validation study.
+    """
+    length = n_lookups if n_lookups is not None else DEFAULT_TRACE_LEN
+    key = (app, input_name, length)
+    cached = _trace_cache.get(key)
+    if cached is None:
+        cached = build_app_trace(get_profile(app), input_name, length)
+        _trace_cache[key] = cached
+    return cached
+
+
+def clear_trace_cache() -> None:
+    """Drop all cached traces (tests use this to bound memory)."""
+    _trace_cache.clear()

@@ -1,0 +1,66 @@
+"""Shared test fixtures and trace builders."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+# Keep experiment-level tests fast and hermetic.
+os.environ.setdefault("REPRO_CACHE", "0")
+
+from repro.config import SimulationConfig, UopCacheConfig, zen3_config
+from repro.core.pw import PWLookup
+from repro.core.trace import Trace, TraceMetadata
+
+
+def pw(start: int, uops: int = 8, *, insts: int | None = None,
+       bytes_len: int | None = None, branch: bool = True,
+       contains_branch: bool | None = None,
+       mispredicted: bool = False) -> PWLookup:
+    """Compact PWLookup builder for hand-written traces."""
+    return PWLookup(
+        start=start,
+        uops=uops,
+        insts=insts if insts is not None else max(1, uops - 1),
+        bytes_len=bytes_len if bytes_len is not None else max(1, uops * 4),
+        terminated_by_branch=branch,
+        contains_branch=branch if contains_branch is None else contains_branch,
+        mispredicted=mispredicted,
+    )
+
+
+def cyclic_trace(n_pws: int, repeats: int, *, uops: int = 8,
+                 stride: int = 64, base: int = 0x400000) -> Trace:
+    """N distinct PWs looked up round-robin ``repeats`` times."""
+    lookups = [
+        pw(base + i * stride, uops)
+        for _ in range(repeats)
+        for i in range(n_pws)
+    ]
+    return Trace(lookups, TraceMetadata(app="cyclic"))
+
+
+@pytest.fixture
+def tiny_uop_config() -> UopCacheConfig:
+    """A 2-set, 4-way micro-op cache for hand-checkable scenarios."""
+    return UopCacheConfig(entries=8, ways=4, uops_per_entry=8,
+                          insertion_delay=0)
+
+
+@pytest.fixture
+def zen3() -> SimulationConfig:
+    return zen3_config()
+
+
+@pytest.fixture
+def small_app_trace() -> Trace:
+    """A small generated application trace (deterministic)."""
+    from repro.workloads.cfg import build_cfg
+    from repro.workloads.generator import generate_trace
+
+    cfg = build_cfg(
+        seed=7, functions=40, blocks_per_function=(3, 8),
+        insts_per_block=(3, 8), mean_iterations=2.0,
+    )
+    return generate_trace(cfg, 4000, seed=99, phase_length=800, phase_count=3)

@@ -1,0 +1,71 @@
+"""Unit tests for prediction-window records (repro.core.pw)."""
+
+import pytest
+
+from repro.core.pw import PWLookup, StoredPW, pw_size
+from repro.errors import TraceError
+
+from .conftest import pw
+
+
+class TestPwSize:
+    def test_exact_fit(self):
+        assert pw_size(8, 8) == 1
+        assert pw_size(16, 8) == 2
+
+    def test_rounds_up(self):
+        assert pw_size(1, 8) == 1
+        assert pw_size(9, 8) == 2
+        assert pw_size(17, 8) == 3
+
+
+class TestPWLookup:
+    def test_rejects_zero_uops(self):
+        with pytest.raises(TraceError):
+            PWLookup(start=0x1000, uops=0, insts=1, bytes_len=4)
+
+    def test_rejects_zero_insts(self):
+        with pytest.raises(TraceError):
+            PWLookup(start=0x1000, uops=1, insts=0, bytes_len=4)
+
+    def test_rejects_zero_bytes(self):
+        with pytest.raises(TraceError):
+            PWLookup(start=0x1000, uops=1, insts=1, bytes_len=0)
+
+    def test_size_uses_uops_per_entry(self):
+        lookup = pw(0x1000, uops=10)
+        assert lookup.size(8) == 2
+        assert lookup.size(16) == 1
+
+    def test_end_and_line_overlap(self):
+        lookup = PWLookup(start=0x1000, uops=4, insts=4, bytes_len=20)
+        assert lookup.end == 0x1014
+        assert lookup.overlaps_line(0x1000, 64)
+        assert not lookup.overlaps_line(0x1040, 64)
+        # Straddling windows overlap both lines.
+        straddle = PWLookup(start=0x103C, uops=4, insts=4, bytes_len=16)
+        assert straddle.overlaps_line(0x1000, 64)
+        assert straddle.overlaps_line(0x1040, 64)
+
+
+class TestStoredPW:
+    def test_from_lookup_computes_size(self):
+        stored = StoredPW.from_lookup(pw(0x2000, uops=12), uops_per_entry=8)
+        assert stored.size == 2
+        assert stored.uops == 12
+        assert stored.weight is None
+
+    def test_covers_same_start_smaller_or_equal(self):
+        stored = StoredPW.from_lookup(pw(0x2000, uops=10), 8)
+        assert stored.covers(pw(0x2000, uops=10))
+        assert stored.covers(pw(0x2000, uops=4))  # intermediate exit point
+        assert not stored.covers(pw(0x2000, uops=11))  # partial only
+        assert not stored.covers(pw(0x2004, uops=4))  # different start
+
+    def test_overlaps_line(self):
+        stored = StoredPW.from_lookup(
+            PWLookup(start=0x1030, uops=8, insts=6, bytes_len=32), 8
+        )
+        assert stored.overlaps_line(0x1000, 64)
+        assert stored.overlaps_line(0x1040, 64)
+        assert not stored.overlaps_line(0x1080, 64)

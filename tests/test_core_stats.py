@@ -1,0 +1,74 @@
+"""Unit tests for simulation statistics (repro.core.stats)."""
+
+import pytest
+
+from repro.core.stats import MissBreakdown, MissClass, SimulationStats
+
+
+class TestMissBreakdown:
+    def test_total_and_fraction(self):
+        breakdown = MissBreakdown(cold=10, capacity=80, conflict=10)
+        assert breakdown.total == 100
+        assert breakdown.fraction(MissClass.CAPACITY) == pytest.approx(0.8)
+
+    def test_fraction_of_empty_is_zero(self):
+        assert MissBreakdown().fraction(MissClass.COLD) == 0.0
+
+    def test_add(self):
+        breakdown = MissBreakdown()
+        breakdown.add(MissClass.CONFLICT, 7)
+        assert breakdown.conflict == 7
+
+
+class TestSimulationStats:
+    def test_uop_miss_rate(self):
+        stats = SimulationStats(uops_total=200, uops_missed=50)
+        assert stats.uop_miss_rate == pytest.approx(0.25)
+        assert stats.uop_hit_rate == pytest.approx(0.75)
+
+    def test_empty_rates_are_zero(self):
+        stats = SimulationStats()
+        assert stats.uop_miss_rate == 0.0
+        assert stats.pw_miss_rate == 0.0
+        assert stats.bypass_fraction == 0.0
+
+    def test_pw_miss_rate_counts_partials(self):
+        stats = SimulationStats(lookups=10, pw_misses=2, pw_partial_hits=1)
+        assert stats.pw_miss_rate == pytest.approx(0.3)
+
+    def test_miss_reduction_vs(self):
+        base = SimulationStats(uops_total=100, uops_missed=40)
+        better = SimulationStats(uops_total=100, uops_missed=30)
+        assert better.miss_reduction_vs(base) == pytest.approx(0.25)
+        assert base.miss_reduction_vs(base) == 0.0
+
+    def test_miss_reduction_vs_perfect_baseline(self):
+        base = SimulationStats(uops_total=100, uops_missed=0)
+        assert SimulationStats().miss_reduction_vs(base) == 0.0
+
+    def test_bypass_fraction(self):
+        stats = SimulationStats(insertion_attempts=10, bypasses=3)
+        assert stats.bypass_fraction == pytest.approx(0.3)
+
+    def test_policy_coverage(self):
+        stats = SimulationStats(
+            policy_victim_selections=90, fallback_victim_selections=10
+        )
+        assert stats.policy_coverage == pytest.approx(0.9)
+
+    def test_policy_coverage_defaults_to_one(self):
+        assert SimulationStats().policy_coverage == 1.0
+
+    def test_merge_accumulates_everything(self):
+        a = SimulationStats(lookups=5, uops_total=40, uops_missed=4,
+                            insertions=2, btb_misses=1)
+        a.miss_breakdown.add(MissClass.COLD, 4)
+        b = SimulationStats(lookups=3, uops_total=24, uops_missed=6,
+                            insertions=1, btb_misses=2)
+        b.miss_breakdown.add(MissClass.CAPACITY, 6)
+        a.merge(b)
+        assert a.lookups == 8
+        assert a.uops_missed == 10
+        assert a.btb_misses == 3
+        assert a.miss_breakdown.cold == 4
+        assert a.miss_breakdown.capacity == 6

@@ -1,0 +1,35 @@
+"""Smoke tests: every example script runs end-to-end (scaled down)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(monkeypatch, capsys, name, argv=()):
+    monkeypatch.setattr(sys, "argv", [name, *argv])
+    # Shrink the workloads the examples drive.
+    monkeypatch.setenv("REPRO_CACHE", "0")
+    module_globals = runpy.run_path(str(EXAMPLES / name), run_name="not_main")
+    monkeypatch.setitem(module_globals, "TRACE_LEN", 1500)
+    module_globals["main"]()
+    return capsys.readouterr().out
+
+
+@pytest.mark.parametrize("name,needle", [
+    ("quickstart.py", "miss reduction"),
+    ("cache_sizing_study.py", "ISO-performance"),
+    ("custom_workload.py", "FLACK"),
+])
+def test_example_runs(monkeypatch, capsys, name, needle):
+    out = run_example(monkeypatch, capsys, name)
+    assert needle in out
+
+
+def test_profile_guided_deployment(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "profile_guided_deployment.py")
+    assert "STEP 7" in out
+    assert "miss reduction vs LRU" in out

@@ -1,0 +1,167 @@
+"""Tests for the experiment harness (runner, reporting, CLI)."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import UnknownPolicyError
+from repro.harness.reporting import format_table, geometric_mean, mean, percent
+from repro.harness.runner import (
+    RunRequest,
+    RunResult,
+    clear_memory_cache,
+    run,
+)
+
+SMALL = dict(trace_len=1500, warmup=500)
+
+
+class TestRunRequest:
+    def test_cache_key_is_stable(self):
+        a = RunRequest(app="kafka", policy="lru")
+        b = RunRequest(app="kafka", policy="lru")
+        assert a.cache_key() == b.cache_key()
+
+    def test_cache_key_differs_by_field(self):
+        a = RunRequest(app="kafka", policy="lru")
+        b = RunRequest(app="kafka", policy="srrip")
+        c = RunRequest(app="kafka", policy="lru", cache_entries=1024)
+        assert len({a.cache_key(), b.cache_key(), c.cache_key()}) == 3
+
+    def test_build_config_overrides(self):
+        request = RunRequest(app="kafka", cache_entries=1024, cache_ways=16,
+                             inclusive=False, perfect=("icache",))
+        config = request.build_config()
+        assert config.uop_cache.entries == 1024
+        assert config.uop_cache.ways == 16
+        assert not config.uop_cache.inclusive_with_icache
+        assert config.perfect_icache
+
+    def test_resolved_warmup_defaults_to_third(self):
+        request = RunRequest(app="kafka", trace_len=3000)
+        assert request.resolved_warmup() == 1000
+
+
+class TestRun:
+    def test_basic_run_and_memoization(self):
+        clear_memory_cache()
+        request = RunRequest(app="kafka", policy="lru", **SMALL)
+        first = run(request)
+        second = run(request)
+        assert first is second
+        assert first.lookups == 1000  # measured window only
+
+    def test_offline_policy_names(self):
+        stats = run(RunRequest(app="kafka", policy="belady", **SMALL))
+        assert stats.uops_total > 0
+
+    def test_flack_ablation_names(self):
+        for name in ("flack[foo]", "flack[A]", "flack[A+VC]", "flack[A+VC+SB]"):
+            stats = run(RunRequest(app="kafka", policy=name, **SMALL))
+            assert stats.uops_total > 0
+
+    def test_furbys_with_profile_inputs(self):
+        stats = run(RunRequest(
+            app="kafka", policy="furbys",
+            profile_inputs=("alt-seed",), **SMALL,
+        ))
+        assert stats.uops_total > 0
+
+    def test_thermometer(self):
+        stats = run(RunRequest(app="kafka", policy="thermometer", **SMALL))
+        assert stats.uops_total > 0
+
+    def test_unknown_policy(self):
+        with pytest.raises(UnknownPolicyError):
+            run(RunRequest(app="kafka", policy="plru", **SMALL))
+
+    def test_disk_cache_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_memory_cache()
+        request = RunRequest(app="kafka", policy="lru", **SMALL)
+        first = run(request)
+        assert list(tmp_path.glob("*.json"))
+        clear_memory_cache()
+        second = run(request)  # reloaded from disk
+        assert second.uops_missed == first.uops_missed
+
+    def test_corrupt_disk_entry_is_recomputed(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_memory_cache()
+        request = RunRequest(app="kafka", policy="lru", **SMALL)
+        path = tmp_path / f"{request.cache_key()}.json"
+        path.write_text("{not json")
+        stats = run(request)
+        assert stats.uops_total > 0
+
+
+class TestRunResultSerialization:
+    def test_roundtrip(self):
+        request = RunRequest(app="kafka", **SMALL)
+        stats = run(request)
+        payload = json.loads(json.dumps(RunResult(request, stats).to_json()))
+        restored = RunResult.stats_from_json(payload)
+        assert restored.uops_missed == stats.uops_missed
+        assert restored.miss_breakdown.total == stats.miss_breakdown.total
+
+
+class TestReporting:
+    def test_percent(self):
+        assert percent(0.1434) == "+14.34%"
+        assert percent(-0.05, 1) == "-5.0%"
+
+    def test_format_table_alignment(self):
+        table = format_table(("a", "bb"), [("x", "y"), ("long", "z")])
+        lines = table.splitlines()
+        assert lines[0].startswith("a")
+        assert all(len(line) >= 6 for line in lines)
+
+    def test_format_table_title(self):
+        table = format_table(("a",), [("1",)], title="T")
+        assert table.splitlines()[0] == "T"
+
+    def test_means(self):
+        assert mean([1.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+        assert geometric_mean([4.0, 1.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.cli import main
+        assert main(["list"]) == 0
+        assert "fig8" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        from repro.cli import main
+        assert main(["fig99"]) == 2
+
+    def test_tab1_runs(self, capsys):
+        from repro.cli import main
+        assert main(["tab1"]) == 0
+        assert "Micro-op cache" in capsys.readouterr().out
+
+
+class TestBarChart:
+    def test_basic_rendering(self):
+        from repro.harness.reporting import bar_chart
+        chart = bar_chart([("furbys", 0.10), ("lru", 0.0), ("ghrp", -0.02)])
+        lines = chart.splitlines()
+        assert len(lines) == 3
+        assert "+10.00%" in lines[0]
+        assert "-" in lines[2]  # negative bar glyph
+
+    def test_empty_items(self):
+        from repro.harness.reporting import bar_chart
+        assert bar_chart([], title="t") == "t"
+
+    def test_longest_bar_is_the_maximum(self):
+        from repro.harness.reporting import bar_chart
+        chart = bar_chart([("a", 0.5), ("b", 0.25)], width=20)
+        a_line, b_line = chart.splitlines()
+        assert a_line.count("#") == 20
+        assert b_line.count("#") == 10

@@ -1,0 +1,96 @@
+"""Unit tests for Jenks natural breaks (repro.profiling.jenks)."""
+
+import pytest
+
+from repro.errors import ProfilingError
+from repro.profiling.jenks import jenks_breaks, jenks_group
+
+
+class TestJenksBreaks:
+    def test_two_obvious_clusters(self):
+        values = [0.0, 0.01, 0.02, 0.9, 0.92, 0.95]
+        breaks = jenks_breaks(values, 2)
+        assert len(breaks) == 2
+        assert breaks[0] < 0.5 < breaks[1]
+
+    def test_three_clusters(self):
+        values = [1, 1, 2, 10, 11, 12, 50, 51, 52]
+        breaks = jenks_breaks(values, 3)
+        assert jenks_group(2, breaks) == 0
+        assert jenks_group(11, breaks) == 1
+        assert jenks_group(52, breaks) == 2
+
+    def test_breaks_are_sorted(self):
+        values = [0.3, 0.1, 0.9, 0.5, 0.7] * 4
+        breaks = jenks_breaks(values, 4)
+        assert breaks == sorted(breaks)
+
+    def test_last_break_covers_maximum(self):
+        values = [0.1, 0.4, 0.8]
+        breaks = jenks_breaks(values, 2)
+        assert breaks[-1] >= max(values)
+
+    def test_fewer_distinct_values_than_classes(self):
+        breaks = jenks_breaks([0.5, 0.5, 0.5], 8)
+        assert len(breaks) == 8
+        assert jenks_group(0.5, breaks) == 0
+
+    def test_single_value(self):
+        breaks = jenks_breaks([0.7], 3)
+        assert jenks_group(0.7, breaks) == 0
+
+    def test_quantized_large_input_matches_clusters(self):
+        import random
+        rng = random.Random(3)
+        values = [rng.gauss(0.1, 0.02) for _ in range(2000)]
+        values += [rng.gauss(0.9, 0.02) for _ in range(2000)]
+        breaks = jenks_breaks(values, 2, max_points=128)
+        # The break sits at the top of the low cluster, below the gap.
+        assert breaks[0] < 0.5 < breaks[1]
+        assert jenks_group(0.1, breaks) == 0
+        assert jenks_group(0.9, breaks) == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ProfilingError):
+            jenks_breaks([], 3)
+
+    def test_rejects_zero_classes(self):
+        with pytest.raises(ProfilingError):
+            jenks_breaks([1.0], 0)
+
+
+class TestJenksGroup:
+    def test_group_boundaries_inclusive(self):
+        breaks = [0.2, 0.5, 1.0]
+        assert jenks_group(0.2, breaks) == 0
+        assert jenks_group(0.21, breaks) == 1
+        assert jenks_group(1.0, breaks) == 2
+
+    def test_above_all_breaks_clamps_to_last(self):
+        assert jenks_group(5.0, [0.2, 0.5, 1.0]) == 2
+
+    def test_minimizes_within_class_variance(self):
+        # Optimality check against brute force on a small input.
+        import itertools
+        values = sorted([1.0, 2.0, 8.0, 9.0, 20.0, 21.0])
+
+        def sse(groups):
+            total = 0.0
+            for group in groups:
+                if not group:
+                    return float("inf")
+                mean = sum(group) / len(group)
+                total += sum((v - mean) ** 2 for v in group)
+            return total
+
+        best = min(
+            (
+                sse([values[:i], values[i:j], values[j:]])
+                for i, j in itertools.combinations(range(1, len(values)), 2)
+            )
+        )
+        breaks = jenks_breaks(values, 3)
+        groups = [[], [], []]
+        for value in values:
+            groups[jenks_group(value, breaks)].append(value)
+        assert sse(groups) == pytest.approx(best)

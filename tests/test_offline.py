@@ -1,0 +1,203 @@
+"""Unit and behaviour tests for the offline policies (repro.offline)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import UopCacheConfig, zen3_config
+from repro.core.trace import Trace
+from repro.frontend.pipeline import FrontendPipeline
+from repro.offline.base import NEVER, FutureIndex, OfflineReplayPolicy
+from repro.offline.belady import BeladyPolicy
+from repro.offline.flack import ABLATION_STEPS, FLACKPolicy, flack_ablation_suite
+from repro.offline.foo import FOOPolicy
+from repro.offline.intervals import (
+    IdentityMode,
+    ValueMetric,
+    extract_intervals,
+    interval_value,
+)
+from repro.offline.plan import greedy_admission
+from repro.policies.lru import LRUPolicy
+
+from .conftest import cyclic_trace, pw
+
+
+def run_policy(trace, policy, *, warmup=0, delay=None):
+    config = replace(zen3_config(), perfect_icache=True)
+    if delay is not None:
+        config = config.with_uop_cache(insertion_delay=delay)
+    pipeline = FrontendPipeline(config, policy)
+    return pipeline.run(trace, warmup=warmup)
+
+
+class TestFutureIndex:
+    def test_next_use_exact(self):
+        trace = Trace([pw(0x1, 4), pw(0x2, 4), pw(0x1, 4), pw(0x1, 8)])
+        index = FutureIndex(trace, IdentityMode.EXACT)
+        assert index.next_use((0x1, 4), after=0) == 2
+        assert index.next_use((0x1, 4), after=2) == NEVER  # 4-uop differs
+        assert index.next_use((0x1, 8), after=0) == 3
+
+    def test_next_use_start_identity_chains_lengths(self):
+        trace = Trace([pw(0x1, 4), pw(0x1, 8)])
+        index = FutureIndex(trace, IdentityMode.START)
+        assert index.next_use(0x1, after=0) == 1
+
+    def test_unknown_key_is_never(self):
+        trace = Trace([pw(0x1, 4)])
+        index = FutureIndex(trace, IdentityMode.START)
+        assert index.next_use(0xFF, after=0) == NEVER
+
+
+class TestIntervalExtraction:
+    def test_interval_values_by_metric(self):
+        stored, nxt = pw(0x1, uops=12), pw(0x1, uops=6)
+        assert interval_value(ValueMetric.OHR, stored, nxt, 8) == 1.0
+        assert interval_value(ValueMetric.ENTRIES, stored, nxt, 8) == 1.0
+        assert interval_value(ValueMetric.UOPS, stored, nxt, 8) == 6.0
+
+    def test_exact_identity_separates_lengths(self):
+        trace = Trace([pw(0x1, 4), pw(0x1, 8), pw(0x1, 4)])
+        config = UopCacheConfig(entries=8, ways=4)
+        per_set, _ = extract_intervals(
+            trace, config, identity=IdentityMode.EXACT,
+            metric=ValueMetric.OHR, set_index_fn=lambda s, n: 0,
+        )
+        assert len(per_set[0]) == 1  # only the 4-uop pair chains
+        assert per_set[0][0].t_start == 0 and per_set[0][0].t_end == 2
+
+    def test_start_identity_chains_all(self):
+        trace = Trace([pw(0x1, 4), pw(0x1, 8), pw(0x1, 4)])
+        config = UopCacheConfig(entries=8, ways=4)
+        per_set, _ = extract_intervals(
+            trace, config, identity=IdentityMode.START,
+            metric=ValueMetric.UOPS, set_index_fn=lambda s, n: 0,
+        )
+        assert len(per_set[0]) == 2
+        assert per_set[0][0].value == 4.0  # min(4, 8): partial credit
+        assert per_set[0][1].value == 4.0  # min(8, 4): exit point
+
+    def test_min_gap_filters_short_intervals(self):
+        trace = Trace([pw(0x1, 4), pw(0x1, 4), *[pw(0x2 + i, 4) for i in range(8)],
+                       pw(0x1, 4)])
+        config = UopCacheConfig(entries=8, ways=4)
+        per_set, _ = extract_intervals(
+            trace, config, identity=IdentityMode.EXACT,
+            metric=ValueMetric.OHR, set_index_fn=lambda s, n: 0, min_gap=5,
+        )
+        spans = [(iv.t_start, iv.t_end) for iv in per_set[0]]
+        assert (0, 1) not in spans      # too short to survive decode
+        assert (1, 10) in spans
+
+
+class TestGreedyAdmission:
+    def test_respects_capacity(self):
+        trace = cyclic_trace(8, repeats=6)
+        config = UopCacheConfig(entries=4, ways=4)
+        per_set, slots = extract_intervals(
+            trace, config, identity=IdentityMode.EXACT,
+            metric=ValueMetric.OHR, set_index_fn=lambda s, n: 0,
+        )
+        plan = greedy_admission(per_set, slots, ways=4, trace_len=len(trace))
+        # With 8 cyclic windows and 4 ways, at most half can be kept.
+        assert 0 < plan.admitted_count <= plan.considered_count
+        assert plan.admission_ratio <= 0.55
+
+    def test_zero_duration_always_admitted(self):
+        trace = Trace([pw(0x1, 4), pw(0x1, 4)])
+        config = UopCacheConfig(entries=4, ways=4)
+        per_set, slots = extract_intervals(
+            trace, config, identity=IdentityMode.EXACT,
+            metric=ValueMetric.OHR, set_index_fn=lambda s, n: 0,
+        )
+        plan = greedy_admission(per_set, slots, 4, len(trace))
+        assert plan.keep_from(0)
+
+
+class TestBelady:
+    def test_optimal_on_pure_cyclic(self):
+        # Theory: footprint 2x capacity -> optimal hit rate is 50%.
+        trace = cyclic_trace(1024, repeats=12)
+        lru = run_policy(trace, LRUPolicy(), warmup=4096)
+        belady = run_policy(trace, BeladyPolicy(trace), warmup=4096)
+        assert lru.uop_miss_rate > 0.99
+        assert belady.uop_miss_rate == pytest.approx(0.5, abs=0.02)
+
+    def test_bypasses_dead_windows(self):
+        trace = Trace([pw(0x10 + i, 8) for i in range(10)])
+        stats = run_policy(trace, BeladyPolicy(trace), delay=0)
+        assert stats.insertions == 0  # nothing recurs: all bypassed
+
+    def test_never_worse_than_lru_on_small_mixes(self, small_app_trace):
+        lru = run_policy(small_app_trace, LRUPolicy(), warmup=1000)
+        belady = run_policy(
+            small_app_trace, BeladyPolicy(small_app_trace), warmup=1000
+        )
+        assert belady.uops_missed <= lru.uops_missed * 1.02
+
+
+class TestFOOAndFLACK:
+    def test_flack_matches_optimum_on_pure_cyclic(self):
+        trace = cyclic_trace(1024, repeats=12)
+        config = zen3_config().uop_cache
+        flack = run_policy(trace, FLACKPolicy(trace, config), warmup=4096)
+        assert flack.uop_miss_rate == pytest.approx(0.5, abs=0.02)
+
+    def test_objective_validation(self):
+        trace = Trace([pw(0x1)])
+        with pytest.raises(ValueError):
+            FOOPolicy(trace, zen3_config().uop_cache, objective="uops")
+
+    def test_ablation_suite_has_four_rungs(self):
+        trace = cyclic_trace(16, repeats=4)
+        suite = flack_ablation_suite(trace, zen3_config().uop_cache)
+        assert list(suite) == [label for label, _ in ABLATION_STEPS]
+        assert suite["foo"].plan is not None        # plan mode
+        assert suite["A+VC+SB"].plan is None        # greedy mode
+
+    def test_flack_beats_lru_and_foo_on_app_trace(self, small_app_trace):
+        config = zen3_config().uop_cache
+        lru = run_policy(small_app_trace, LRUPolicy(), warmup=1000)
+        flack = run_policy(
+            small_app_trace, FLACKPolicy(small_app_trace, config), warmup=1000
+        )
+        assert flack.uops_missed < lru.uops_missed
+
+    def test_variable_cost_prefers_dense_windows(self):
+        # Three windows cycle through a 2-way set: the policy must give
+        # up one of them each round, and with variable costs it should
+        # sacrifice a 1-uop window, never the 8-uop one (Figure 3).
+        light_a, light_b, heavy = pw(0x20, 1), pw(0x60, 1), pw(0xA0, 8)
+        trace = Trace([light_a, light_b, heavy] * 8)
+        config = zen3_config().with_uop_cache(
+            entries=2, ways=2, insertion_delay=0
+        )
+        policy = FLACKPolicy(trace, config.uop_cache,
+                             set_index_fn=lambda s, n: 0)
+        pipeline = FrontendPipeline(
+            replace(config, perfect_icache=True), policy,
+            set_index=lambda s, n: 0,
+        )
+        stats = pipeline.run(trace)
+        # The heavy window hits every round after the first.
+        assert stats.uops_hit >= 8 * 6
+
+
+class TestOfflineReplayFlags:
+    def test_async_aware_bypasses_dead_late_insertion(self):
+        config = UopCacheConfig(entries=8, ways=4, insertion_delay=4)
+        # 0x1 is looked up twice within the decode window, never again:
+        # with asynchrony awareness the insertion is pointless.
+        lookups = [pw(0x1, 8), pw(0x1, 8), *[pw(0x100 + i * 64, 8) for i in range(6)]]
+        trace = Trace(lookups)
+        aware = OfflineReplayPolicy(
+            trace, config, plan_mode=False, async_aware=True,
+            variable_cost=True, selective_bypass=True,
+        )
+        stats = run_policy(trace, aware, delay=4)
+        assert not any(
+            s.pws for s in aware.cache.sets
+            if any(p.start == 0x1 for p in s.pws.values())
+        )
+        del stats

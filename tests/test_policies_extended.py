@@ -1,0 +1,138 @@
+"""Unit tests for the extended baselines (DRRIP, Hawkeye)."""
+
+from repro.config import UopCacheConfig
+from repro.policies.drrip import DRRIPPolicy, _PSEL_INIT
+from repro.policies.hawkeye import HawkeyePolicy, _OptGen
+from repro.policies.srrip import RRPV_INSERT, RRPV_MAX
+from repro.uopcache.cache import UopCache
+
+from .conftest import pw
+
+
+def build(policy, ways=4, entries=None, sets_fn=None):
+    config = UopCacheConfig(entries=entries or ways * 16, ways=ways,
+                            uops_per_entry=8)
+    return UopCache(config, policy, set_index=sets_fn or (lambda s, n: 0))
+
+
+class TestDRRIP:
+    def test_leader_sets_are_disjoint(self):
+        policy = DRRIPPolicy()
+        build(policy)
+        assert not (policy._srrip_leaders & policy._brrip_leaders)
+        assert policy._psel == _PSEL_INIT
+
+    def test_follower_policy_tracks_psel(self):
+        policy = DRRIPPolicy()
+        build(policy)
+        follower = max(policy._srrip_leaders | policy._brrip_leaders) + 1
+        policy._psel = _PSEL_INIT + 10
+        assert policy._uses_brrip(follower)
+        policy._psel = _PSEL_INIT - 10
+        assert not policy._uses_brrip(follower)
+
+    def test_leader_misses_move_psel(self):
+        policy = DRRIPPolicy()
+        build(policy)
+        srrip_leader = next(iter(policy._srrip_leaders))
+        brrip_leader = next(iter(policy._brrip_leaders))
+        before = policy._psel
+        policy.on_miss(0, srrip_leader, pw(0x1))
+        assert policy._psel == before + 1
+        policy.on_miss(1, brrip_leader, pw(0x2))
+        assert policy._psel == before
+
+    def test_brrip_inserts_mostly_distant(self):
+        policy = DRRIPPolicy()
+        cache = build(policy)
+        brrip_leader = next(iter(policy._brrip_leaders))
+        from repro.core.pw import StoredPW
+        distant = 0
+        for i in range(16):
+            stored = StoredPW(start=0x100 + i, uops=8, insts=6,
+                              bytes_len=24, size=1)
+            policy.on_insert(i, brrip_leader, stored)
+            if policy.rrpv.get(stored.start) == RRPV_MAX:
+                distant += 1
+        assert distant >= 14  # bimodal: rare long insertions
+        del cache
+
+    def test_srrip_side_inserts_long(self):
+        policy = DRRIPPolicy()
+        build(policy)
+        srrip_leader = next(iter(policy._srrip_leaders))
+        from repro.core.pw import StoredPW
+        stored = StoredPW(start=0x900, uops=8, insts=6, bytes_len=24, size=1)
+        policy.on_insert(0, srrip_leader, stored)
+        assert policy.rrpv.get(0x900) == RRPV_INSERT
+
+
+class TestOptGen:
+    def test_first_access_has_no_verdict(self):
+        optgen = _OptGen(ways=2)
+        assert optgen.access(0x1, 1) is None
+
+    def test_short_reuse_in_empty_set_is_friendly(self):
+        optgen = _OptGen(ways=2)
+        optgen.access(0x1, 1)
+        assert optgen.access(0x1, 1) is True
+
+    def test_overcommitted_interval_is_averse(self):
+        optgen = _OptGen(ways=1)
+        optgen.access(0x1, 1)
+        optgen.access(0x2, 1)   # friendly? first use: None
+        assert optgen.access(0x2, 1) is True   # occupies the window
+        assert optgen.access(0x1, 1) is False  # capacity already taken
+
+    def test_reuse_past_window_forgotten(self):
+        optgen = _OptGen(ways=1)  # window = 8
+        optgen.access(0x1, 1)
+        for i in range(9):
+            optgen.access(0x100 + i, 1)
+        assert optgen.access(0x1, 1) is None
+
+
+class TestHawkeye:
+    def test_friendly_insertions_protected(self):
+        policy = HawkeyePolicy()
+        cache = build(policy)
+        from repro.core.pw import StoredPW
+        stored = StoredPW(start=0x40, uops=8, insts=6, bytes_len=24, size=1)
+        policy.on_insert(0, 0, stored)  # predictor starts friendly
+        assert policy.rrpv.get(0x40) == 0
+        del cache
+
+    def test_averse_start_inserted_distant(self):
+        policy = HawkeyePolicy()
+        build(policy)
+        from repro.policies.hawkeye import _predictor_index
+        policy._predictor[_predictor_index(0x40)] = 0
+        from repro.core.pw import StoredPW
+        stored = StoredPW(start=0x40, uops=8, insts=6, bytes_len=24, size=1)
+        policy.on_insert(0, 0, stored)
+        assert policy.rrpv.get(0x40) == RRPV_MAX
+
+    def test_eviction_of_friendly_detrains(self):
+        policy = HawkeyePolicy()
+        cache = build(policy, ways=2, entries=4)
+        from repro.policies.hawkeye import _predictor_index
+        index = _predictor_index(0x40)
+        before = policy._predictor[index]
+        cache.try_insert(0, pw(0x40))
+        cache.try_insert(1, pw(0x80))
+        cache.try_insert(2, pw(0xC0))  # evicts one friendly line
+        assert min(
+            policy._predictor[_predictor_index(s)] for s in (0x40, 0x80)
+        ) <= before
+
+    def test_runs_through_pipeline(self, small_app_trace):
+        from dataclasses import replace
+        from repro.config import zen3_config
+        from repro.frontend.pipeline import FrontendPipeline
+
+        config = replace(zen3_config(), perfect_icache=True)
+        stats = FrontendPipeline(config, HawkeyePolicy()).run(
+            small_app_trace, warmup=500
+        )
+        assert stats.uops_total > 0
+        assert 0.0 <= stats.uop_miss_rate <= 1.0

@@ -1,0 +1,189 @@
+"""Unit tests for the online replacement policies."""
+
+import pytest
+
+from repro.config import UopCacheConfig
+from repro.errors import UnknownPolicyError
+from repro.policies import make_policy, online_policy_names
+from repro.policies.ghrp import GHRPPolicy
+from repro.policies.lru import LRUPolicy
+from repro.policies.mockingjay import MockingjayPolicy
+from repro.policies.ship import SHiPPlusPlusPolicy, signature_of
+from repro.policies.srrip import RRPV_HIT, RRPV_INSERT, RRPV_MAX, RRPVTable, SRRIPPolicy
+from repro.policies.thermometer import COLD, HOT, WARM, ThermometerPolicy
+from repro.uopcache.cache import UopCache
+
+from .conftest import pw
+
+
+def build(policy, ways=4, entries=8):
+    config = UopCacheConfig(entries=entries, ways=ways, uops_per_entry=8)
+    return UopCache(config, policy, set_index=lambda s, n: 0)
+
+
+def fill(cache, starts, t0=0):
+    for t, start in enumerate(starts, start=t0):
+        cache.try_insert(t, pw(start))
+
+
+class TestRegistry:
+    def test_known_policies(self):
+        for name in online_policy_names():
+            policy = make_policy(name)
+            assert policy.name == name
+
+    def test_unknown_policy(self):
+        with pytest.raises(UnknownPolicyError):
+            make_policy("clock")
+
+
+class TestLRU:
+    def test_evicts_least_recent(self):
+        policy = LRUPolicy()
+        cache = build(policy)
+        fill(cache, [0x100, 0x200, 0x300, 0x400])
+        policy.on_hit(10, 0, cache.probe(pw(0x100)), pw(0x100))
+        cache.try_insert(11, pw(0x500))
+        assert cache.contains(0x100)        # refreshed by the hit
+        assert not cache.contains(0x200)    # oldest un-touched
+
+    def test_partial_hit_refreshes(self):
+        policy = LRUPolicy()
+        cache = build(policy)
+        fill(cache, [0x100, 0x200, 0x300, 0x400])
+        policy.on_partial_hit(10, 0, cache.probe(pw(0x100)), pw(0x100, 12))
+        cache.try_insert(11, pw(0x500))
+        assert cache.contains(0x100)
+
+
+class TestRRPVTable:
+    def test_insert_hit_values(self):
+        table = RRPVTable()
+        table.on_insert(0x1)
+        assert table.get(0x1) == RRPV_INSERT
+        table.on_hit(0x1)
+        assert table.get(0x1) == RRPV_HIT
+
+    def test_unknown_is_distant(self):
+        assert RRPVTable().get(0x999) == RRPV_MAX
+
+    def test_aging_promotes_someone_to_distant(self):
+        table = RRPVTable()
+        from repro.core.pw import StoredPW
+        residents = []
+        for i, start in enumerate((0x1, 0x2)):
+            table.on_insert(start)
+            residents.append(StoredPW(start=start, uops=8, insts=6,
+                                      bytes_len=32, size=1))
+        table.on_hit(0x1)
+        order = table.victim_order(residents)
+        assert order[0].start == 0x2       # aged to RRPV_MAX first
+        assert table.get(0x2) == RRPV_MAX  # aging mutated state
+
+
+class TestSRRIP:
+    def test_hits_protect_lines(self):
+        policy = SRRIPPolicy()
+        cache = build(policy)
+        fill(cache, [0x100, 0x200, 0x300, 0x400])
+        for start in (0x100, 0x200, 0x300):
+            policy.on_hit(10, 0, cache.probe(pw(start)), pw(start))
+        cache.try_insert(20, pw(0x500))
+        assert not cache.contains(0x400)  # the only non-promoted line
+
+
+class TestSHiPPlusPlus:
+    def test_signature_is_14_bits(self):
+        assert 0 <= signature_of(0xDEADBEEF) < (1 << 14)
+
+    def test_dead_signature_trains_toward_distant_insert(self):
+        policy = SHiPPlusPlusPolicy()
+        cache = build(policy)
+        sig = signature_of(0x100)
+        # Insert and evict without reuse twice: counter decrements to 0.
+        for t in range(2):
+            cache.try_insert(t, pw(0x100))
+            cache._remove(t, cache.probe(pw(0x100)),
+                          __import__("repro.uopcache.replacement",
+                                     fromlist=["EvictionReason"]).EvictionReason.REPLACEMENT)
+        assert policy._shct[sig] == 0
+        cache.try_insert(10, pw(0x100))
+        assert policy.rrpv.get(0x100) == RRPV_MAX  # predicted dead
+
+    def test_reuse_trains_up(self):
+        policy = SHiPPlusPlusPolicy()
+        cache = build(policy)
+        cache.try_insert(0, pw(0x100))
+        before = policy._shct[signature_of(0x100)]
+        policy.on_hit(1, 0, cache.probe(pw(0x100)), pw(0x100))
+        assert policy._shct[signature_of(0x100)] == before + 1
+
+
+class TestGHRP:
+    def test_bypass_mispredict_is_untrained(self):
+        policy = GHRPPolicy()
+        build(policy)
+        signature = policy._signature(0x100)
+        for _ in range(4):
+            policy._train(signature, dead=True)
+        policy._bypassed[0x100] = (signature, 0)
+        prediction_before = policy._predict(signature)
+        policy.on_lookup(10, 0, pw(0x100))
+        assert policy._predict(signature) < prediction_before
+
+    def test_dead_training_on_unreused_eviction(self):
+        policy = GHRPPolicy()
+        cache = build(policy)
+        cache.try_insert(0, pw(0x100))
+        stored = cache.probe(pw(0x100))
+        sig = policy._sig[0x100]
+        before = policy._predict(sig)
+        from repro.uopcache.replacement import EvictionReason
+        cache._remove(1, stored, EvictionReason.REPLACEMENT)
+        assert policy._predict(sig) > before
+
+
+class TestMockingjay:
+    def test_learns_reuse_distance(self):
+        policy = MockingjayPolicy()
+        build(policy)
+        for t in range(6):
+            policy.on_lookup(t, 0, pw(0x100))
+        assert policy._prediction[0x100] == pytest.approx(1.0)
+
+    def test_overdue_lines_evicted_first(self):
+        policy = MockingjayPolicy()
+        cache = build(policy)
+        # 0x100 has a learned short reuse distance, then goes silent.
+        for t in range(4):
+            policy.on_lookup(t, 0, pw(0x100))
+        fill(cache, [0x100, 0x200, 0x300, 0x400], t0=4)
+        # Advance the set clock far beyond 0x100's predicted reuse.
+        for t in range(8, 30):
+            policy.on_lookup(t, 0, pw(0x200))
+            policy.on_hit(t, 0, cache.probe(pw(0x200)), pw(0x200))
+        cache.try_insert(40, pw(0x500))
+        assert not cache.contains(0x100)
+
+
+class TestThermometer:
+    def test_victim_order_cold_first(self):
+        classes = {0x100: HOT, 0x200: COLD, 0x300: WARM}
+        policy = ThermometerPolicy(classes)
+        cache = build(policy, ways=3, entries=6)
+        fill(cache, [0x100, 0x200, 0x300])
+        cache.try_insert(10, pw(0x400))
+        assert not cache.contains(0x200)  # cold evicted first
+        assert cache.contains(0x100)
+
+    def test_cold_bypass_against_all_hot_set(self):
+        classes = {0x100: HOT, 0x200: HOT, 0x300: HOT, 0x400: COLD}
+        policy = ThermometerPolicy(classes)
+        cache = build(policy, ways=3, entries=6)
+        fill(cache, [0x100, 0x200, 0x300])
+        result = cache.try_insert(10, pw(0x400))
+        assert not result.inserted
+
+    def test_unprofiled_defaults_to_cold(self):
+        assert ThermometerPolicy({}).temperature(0x1) == COLD
+        assert WARM == 1

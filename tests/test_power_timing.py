@@ -1,0 +1,150 @@
+"""Tests for the power (CACTI/McPAT) and timing models."""
+
+import pytest
+
+from repro.config import zen3_config, zen4_config
+from repro.core.stats import SimulationStats
+from repro.errors import ConfigurationError
+from repro.power.cacti import cacti_estimate, uop_cache_energy
+from repro.power.mcpat import CorePowerModel
+from repro.power.ppw import performance_per_watt, ppw_gain
+from repro.timing.model import TimingModel
+
+
+def stats_for(*, lookups=1000, uops=8000, missed=2000, insts=6000,
+              branches=800, mispredictions=10, switches=200,
+              decoder_uops=None, insertions=300) -> SimulationStats:
+    stats = SimulationStats(
+        lookups=lookups,
+        pw_hits=lookups - 300,
+        pw_misses=300,
+        uops_total=uops,
+        uops_hit=uops - missed,
+        uops_missed=missed,
+        instructions=insts,
+        branches=branches,
+        btb_accesses=branches,
+        mispredictions=mispredictions,
+        path_switches=switches,
+        decoder_uops=decoder_uops if decoder_uops is not None else missed,
+        icache_accesses=400,
+        uop_cache_reads=900,
+        uop_cache_writes=insertions,
+        insertions=insertions,
+        insertion_attempts=insertions,
+    )
+    return stats
+
+
+class TestCacti:
+    def test_energy_grows_with_capacity(self):
+        small = cacti_estimate(16 * 1024, 8)
+        large = cacti_estimate(64 * 1024, 8)
+        assert large.read_pj > small.read_pj
+        assert large.leakage_mw > small.leakage_mw
+
+    def test_energy_grows_with_ways(self):
+        low = cacti_estimate(32 * 1024, 4)
+        high = cacti_estimate(32 * 1024, 16)
+        assert high.read_pj > low.read_pj
+
+    def test_newer_tech_is_cheaper(self):
+        old = cacti_estimate(32 * 1024, 8, tech_nm=32)
+        new = cacti_estimate(32 * 1024, 8, tech_nm=14)
+        assert new.read_pj < old.read_pj
+
+    def test_rejects_unknown_tech(self):
+        with pytest.raises(ConfigurationError):
+            cacti_estimate(32 * 1024, 8, tech_nm=3)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            cacti_estimate(0, 8)
+
+    def test_uop_cache_energy_uses_entry_bits(self):
+        small = uop_cache_energy(256, 8, 8)
+        large = uop_cache_energy(1024, 8, 8)
+        assert large.read_pj > small.read_pj
+
+    def test_scaled(self):
+        base = cacti_estimate(32 * 1024, 8)
+        double = base.scaled(2.0)
+        assert double.read_pj == pytest.approx(2 * base.read_pj)
+
+
+class TestMcPat:
+    def test_decoder_fraction_matches_paper_reference(self):
+        # No-uop-cache core: decoder ~12.5%, icache ~7.7% (Figure 13).
+        model = CorePowerModel(zen3_config())
+        breakdown = model.breakdown(stats_for(), uop_cache_present=False)
+        assert 0.06 < breakdown.fraction("decoder") < 0.20
+        assert 0.02 < breakdown.fraction("icache") < 0.15
+
+    def test_uop_cache_saves_energy(self):
+        model = CorePowerModel(zen3_config())
+        stats = stats_for()
+        with_cache = model.breakdown(stats).total
+        without = model.breakdown(stats, uop_cache_present=False).total
+        assert with_cache < without
+
+    def test_fewer_insertions_save_energy(self):
+        model = CorePowerModel(zen3_config())
+        many = model.breakdown(stats_for(insertions=600)).total
+        few = model.breakdown(stats_for(insertions=100)).total
+        assert few < many
+
+    def test_power_positive(self):
+        model = CorePowerModel(zen3_config())
+        assert model.power_watts(stats_for()) > 0
+
+
+class TestPpw:
+    def test_fewer_misses_improve_ppw(self):
+        config = zen3_config()
+        base = stats_for(missed=3000, switches=300)
+        better = stats_for(missed=1500, switches=300, insertions=200)
+        assert ppw_gain(config, better, base) > 0
+
+    def test_identical_runs_have_zero_gain(self):
+        config = zen3_config()
+        stats = stats_for()
+        assert ppw_gain(config, stats, stats) == pytest.approx(0.0)
+
+    def test_ppw_is_instructions_per_joule(self):
+        config = zen3_config()
+        value = performance_per_watt(config, stats_for())
+        assert value > 0
+
+
+class TestTiming:
+    def test_more_decode_work_lowers_ipc(self):
+        timing = TimingModel(zen3_config())
+        fast = timing.evaluate(stats_for(missed=500, decoder_uops=500))
+        slow = timing.evaluate(stats_for(missed=4000, decoder_uops=4000))
+        assert fast.ipc > slow.ipc
+
+    def test_mispredictions_cost_cycles(self):
+        timing = TimingModel(zen3_config())
+        clean = timing.evaluate(stats_for(mispredictions=0))
+        flushed = timing.evaluate(stats_for(mispredictions=200))
+        assert flushed.cycles > clean.cycles
+        assert flushed.flush_cycles > 0
+
+    def test_speedup_vs(self):
+        timing = TimingModel(zen3_config())
+        base = timing.evaluate(stats_for(missed=4000, decoder_uops=4000))
+        better = timing.evaluate(stats_for(missed=1000, decoder_uops=1000))
+        assert better.speedup_vs(base) > 0
+        assert base.speedup_vs(base) == pytest.approx(0.0)
+
+    def test_ipc_bounded_by_issue_width(self):
+        timing = TimingModel(zen3_config())
+        result = timing.evaluate(stats_for(missed=0, decoder_uops=0,
+                                           mispredictions=0, switches=0))
+        per_uop_ipc = zen3_config().core.issue_width
+        assert result.ipc <= per_uop_ipc * 1.01
+
+    def test_zen4_wider_issue_raises_ipc_ceiling(self):
+        z3 = TimingModel(zen3_config()).evaluate(stats_for(mispredictions=0))
+        z4 = TimingModel(zen4_config()).evaluate(stats_for(mispredictions=0))
+        assert z4.ipc > z3.ipc

@@ -1,0 +1,96 @@
+"""Tests for the replacement-policy base interface and errors module."""
+
+import pytest
+
+from repro.config import UopCacheConfig
+from repro.core.pw import StoredPW
+from repro.errors import (
+    ConfigurationError,
+    FlowError,
+    OfflinePolicyError,
+    ProfilingError,
+    ReproError,
+    TraceError,
+    UnknownPolicyError,
+    UnknownWorkloadError,
+)
+from repro.uopcache.cache import UopCache
+from repro.uopcache.replacement import (
+    BYPASS,
+    Bypass,
+    EvictionReason,
+    ReplacementPolicy,
+    Victims,
+)
+
+
+def stored(start, size=1, uops=None):
+    return StoredPW(start=start, uops=uops or size * 8, insts=4,
+                    bytes_len=16, size=size)
+
+
+class RankByStart(ReplacementPolicy):
+    """Toy policy: evict lowest start address first."""
+
+    name = "rank-by-start"
+
+    def victim_order(self, now, set_index, incoming, resident):
+        return sorted(resident, key=lambda p: p.start)
+
+
+class TestBaseChooseVictims:
+    def test_greedy_takes_enough_ways(self):
+        policy = RankByStart()
+        residents = [stored(0x1, 1), stored(0x2, 2), stored(0x3, 1)]
+        decision = policy.choose_victims(0, 0, stored(0x9, 3), residents, 3)
+        assert isinstance(decision, Victims)
+        assert [v.start for v in decision.pws] == [0x1, 0x2]
+
+    def test_returns_bypass_when_impossible(self):
+        policy = RankByStart()
+        decision = policy.choose_victims(0, 0, stored(0x9, 4),
+                                         [stored(0x1, 1)], 4)
+        assert isinstance(decision, Bypass)
+
+    def test_default_should_bypass_is_false(self):
+        policy = RankByStart()
+        assert not policy.should_bypass(0, 0, stored(0x9), [], 1)
+
+    def test_victim_order_not_implemented_by_default(self):
+        class Bare(ReplacementPolicy):
+            pass
+
+        with pytest.raises(NotImplementedError):
+            Bare().victim_order(0, 0, stored(0x9), [])
+
+
+class TestWiring:
+    def test_attach_resets_and_exposes_cache(self):
+        policy = RankByStart()
+        config = UopCacheConfig(entries=8, ways=4)
+        cache = UopCache(config, policy)
+        assert policy.cache is cache
+
+    def test_cache_before_attach_raises(self):
+        with pytest.raises(RuntimeError):
+            RankByStart().cache
+
+    def test_bypass_singleton_repr(self):
+        assert repr(BYPASS) == "BYPASS"
+
+    def test_eviction_reasons(self):
+        assert {r.value for r in EvictionReason} == {
+            "replacement", "inclusive", "upgrade"
+        }
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (ConfigurationError, TraceError, UnknownWorkloadError,
+                    UnknownPolicyError, OfflinePolicyError, FlowError,
+                    ProfilingError):
+            assert issubclass(exc, ReproError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise ProfilingError("x")

@@ -1,0 +1,32 @@
+"""Tests for the sweep helpers (repro.harness.sweep)."""
+
+from repro.harness.runner import RunRequest
+from repro.harness.sweep import associativity_sweep, capacity_sweep, iso_capacity
+
+SMALL = RunRequest(app="kafka", trace_len=1500, warmup=500)
+
+
+class TestCapacitySweep:
+    def test_bigger_caches_miss_less(self):
+        results = capacity_sweep("kafka", "lru", (256, 1024), base=SMALL)
+        assert results[1024].uops_missed <= results[256].uops_missed
+
+    def test_keys_are_entry_counts(self):
+        results = capacity_sweep("kafka", "lru", (512,), base=SMALL)
+        assert set(results) == {512}
+
+
+class TestAssociativitySweep:
+    def test_runs_each_way_count(self):
+        results = associativity_sweep("kafka", "lru", (4, 8), base=SMALL)
+        assert set(results) == {4, 8}
+        for stats in results.values():
+            assert stats.uops_total > 0
+
+
+class TestIsoCapacity:
+    def test_lru_vs_lru_matches_at_first_scale(self):
+        # The reference equals the baseline, so any growth suffices.
+        scale = iso_capacity("kafka", reference_policy="lru",
+                             scales=(1.25,), trace_len=1500)
+        assert scale == 1.25

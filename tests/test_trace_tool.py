@@ -1,0 +1,36 @@
+"""Tests for the repro-trace CLI tool."""
+
+from repro.tools.trace_tool import main
+
+
+class TestTraceTool:
+    def test_apps_lists_all(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        assert "kafka" in out and "clang" in out
+
+    def test_generate_head_stats_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "kafka.trace"
+        assert main(["generate", "kafka", str(path), "--lookups", "800"]) == 0
+        assert path.exists()
+        capsys.readouterr()
+
+        assert main(["head", str(path), "--count", "5"]) == 0
+        head_out = capsys.readouterr().out
+        assert head_out.count("0x") == 5
+
+        assert main(["stats", str(path), "--reuse"]) == 0
+        stats_out = capsys.readouterr().out
+        assert "lookups            : 800" in stats_out
+        assert "PW size distribution" in stats_out
+        assert "reuse distance" in stats_out
+
+    def test_stats_histogram_shares_sum(self, tmp_path, capsys):
+        path = tmp_path / "t.trace"
+        main(["generate", "tomcat", str(path), "--lookups", "500"])
+        capsys.readouterr()
+        main(["stats", str(path)])
+        out = capsys.readouterr().out
+        shares = [float(line.rsplit(" ", 1)[1].rstrip("%"))
+                  for line in out.splitlines() if "#" in line and ":" in line]
+        assert 95.0 < sum(shares) < 105.0

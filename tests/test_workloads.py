@@ -1,0 +1,203 @@
+"""Tests for the synthetic workload substrate (repro.workloads)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, UnknownWorkloadError
+from repro.workloads.apps import (
+    APP_PROFILES,
+    app_names,
+    get_profile,
+    scaled_profile,
+)
+from repro.workloads.cfg import build_cfg
+from repro.workloads.generator import TraceGenerator, generate_trace
+from repro.workloads.registry import (
+    available_inputs,
+    build_app_trace,
+    clear_trace_cache,
+    get_trace,
+)
+
+
+class TestCFGConstruction:
+    def test_deterministic_for_same_seed(self):
+        a = build_cfg(seed=1, functions=10, blocks_per_function=(2, 5),
+                      insts_per_block=(3, 6))
+        b = build_cfg(seed=1, functions=10, blocks_per_function=(2, 5),
+                      insts_per_block=(3, 6))
+        assert a.total_insts == b.total_insts
+        assert [f.addr for f in a.functions] == [f.addr for f in b.functions]
+
+    def test_different_seed_differs(self):
+        a = build_cfg(seed=1, functions=10, blocks_per_function=(2, 5),
+                      insts_per_block=(3, 6))
+        b = build_cfg(seed=2, functions=10, blocks_per_function=(2, 5),
+                      insts_per_block=(3, 6))
+        assert [f.addr for f in a.functions] != [f.addr for f in b.functions]
+
+    def test_blocks_are_laid_out_contiguously(self):
+        cfg = build_cfg(seed=3, functions=4, blocks_per_function=(3, 3),
+                        insts_per_block=(4, 4))
+        for function in cfg.functions:
+            for first, second in zip(function.blocks, function.blocks[1:]):
+                assert second.addr == first.end
+
+    def test_functions_do_not_overlap(self):
+        cfg = build_cfg(seed=3, functions=20, blocks_per_function=(2, 6),
+                        insts_per_block=(2, 8))
+        for first, second in zip(cfg.functions, cfg.functions[1:]):
+            assert second.addr >= first.end
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            build_cfg(seed=0, functions=0, blocks_per_function=(1, 2),
+                      insts_per_block=(1, 2))
+        with pytest.raises(ConfigurationError):
+            build_cfg(seed=0, functions=1, blocks_per_function=(5, 2),
+                      insts_per_block=(1, 2))
+
+
+class TestTraceGenerator:
+    def _cfg(self):
+        return build_cfg(seed=9, functions=25, blocks_per_function=(3, 6),
+                         insts_per_block=(3, 8))
+
+    def test_exact_lookup_count(self):
+        trace = generate_trace(self._cfg(), 1234, seed=1)
+        assert len(trace) == 1234
+
+    def test_deterministic(self):
+        a = generate_trace(self._cfg(), 800, seed=42)
+        b = generate_trace(self._cfg(), 800, seed=42)
+        assert a.lookups == b.lookups
+
+    def test_pws_never_span_line_starts(self):
+        # Every instruction of a PW starts within the PW's first line,
+        # so the start offset plus length stays under two lines.
+        trace = generate_trace(self._cfg(), 2000, seed=7)
+        for lookup in trace:
+            assert (lookup.start % 64) < 64
+            assert lookup.bytes_len <= 64 + 8  # one straddling instruction
+
+    def test_same_start_pws_are_consistent(self):
+        # Two lookups with the same start and same uop count must agree
+        # on instruction count and byte length (deterministic code).
+        trace = generate_trace(self._cfg(), 3000, seed=7)
+        seen = {}
+        for lookup in trace:
+            key = (lookup.start, lookup.uops)
+            if key in seen:
+                assert seen[key] == (lookup.insts, lookup.bytes_len)
+            seen[key] = (lookup.insts, lookup.bytes_len)
+
+    def test_partial_hit_material_exists(self):
+        # Same starts with different lengths (Section II-D).
+        trace = generate_trace(self._cfg(), 3000, seed=7)
+        lengths = {}
+        for lookup in trace:
+            lengths.setdefault(lookup.start, set()).add(lookup.uops)
+        assert any(len(variants) > 1 for variants in lengths.values())
+
+    def test_mpki_calibration(self):
+        trace = generate_trace(self._cfg(), 6000, seed=7,
+                               target_mispredict_mpki=2.0)
+        measured = 1000 * trace.total_mispredictions / trace.total_instructions
+        assert 0.6 < measured < 5.0
+
+    def test_rejects_zero_lookups(self):
+        with pytest.raises(ConfigurationError):
+            generate_trace(self._cfg(), 0, seed=1)
+
+    def test_rejects_empty_cfg(self):
+        from repro.workloads.cfg import ProgramCFG
+        with pytest.raises(ConfigurationError):
+            TraceGenerator(ProgramCFG(), seed=0)
+
+    def test_line_fragments_lack_branches(self):
+        trace = generate_trace(self._cfg(), 3000, seed=7)
+        fragment = [l for l in trace if not l.terminated_by_branch]
+        assert fragment, "expected line-boundary-terminated PWs"
+        # Branch-terminated PWs always contain a branch.
+        for lookup in trace:
+            if lookup.terminated_by_branch:
+                assert lookup.contains_branch
+
+
+class TestAppProfiles:
+    def test_eleven_table2_apps(self):
+        assert len(APP_PROFILES) == 11
+        assert "kafka" in APP_PROFILES and "clang" in APP_PROFILES
+
+    def test_app_names_order_stable(self):
+        assert app_names()[0] == "cassandra"
+
+    def test_get_profile_unknown(self):
+        with pytest.raises(UnknownWorkloadError):
+            get_profile("redis")
+
+    def test_each_app_has_four_inputs(self):
+        for app in app_names():
+            assert len(available_inputs(app)) == 4
+
+    def test_input_named_unknown(self):
+        with pytest.raises(UnknownWorkloadError):
+            get_profile("kafka").input_named("huge")
+
+    def test_scaled_profile(self):
+        profile = scaled_profile(get_profile("kafka"), 0.5)
+        assert profile.functions == get_profile("kafka").functions // 2
+
+
+class TestRegistry:
+    def test_cache_returns_same_object(self):
+        a = get_trace("kafka", n_lookups=500)
+        b = get_trace("kafka", n_lookups=500)
+        assert a is b
+        clear_trace_cache()
+        c = get_trace("kafka", n_lookups=500)
+        assert c is not a
+        assert c.lookups == a.lookups  # still deterministic
+
+    def test_inputs_share_static_code(self):
+        a = build_app_trace(get_profile("kafka"), "default", 6000)
+        b = build_app_trace(get_profile("kafka"), "alt-seed", 6000)
+        # Same binary: start addresses overlap heavily across inputs.
+        overlap = a.unique_starts() & b.unique_starts()
+        assert len(overlap) > 0.3 * len(a.unique_starts())
+        assert a.lookups != b.lookups
+
+    def test_metadata_attached(self):
+        trace = get_trace("tomcat", n_lookups=300)
+        assert trace.metadata.app == "tomcat"
+        assert trace.metadata.input_name == "default"
+
+
+class TestStructureSharing:
+    def _generator(self, walk_seed, structure_seed=777):
+        from repro.workloads.cfg import build_cfg
+        from repro.workloads.generator import TraceGenerator
+
+        cfg = build_cfg(seed=4, functions=30, blocks_per_function=(2, 5),
+                        insts_per_block=(3, 6))
+        return TraceGenerator(cfg, seed=walk_seed,
+                              structure_seed=structure_seed,
+                              phase_count=3, phase_length=500)
+
+    def test_same_structure_seed_shares_loops(self):
+        a = self._generator(walk_seed=1)
+        b = self._generator(walk_seed=2)
+        assert a._phase_loops == b._phase_loops
+        assert a._phase_perms == b._phase_perms
+
+    def test_different_structure_seed_differs(self):
+        a = self._generator(walk_seed=1, structure_seed=10)
+        b = self._generator(walk_seed=1, structure_seed=20)
+        assert a._phase_loops != b._phase_loops
+
+    def test_phase_loops_share_stable_core(self):
+        generator = self._generator(walk_seed=1)
+        loops = generator._phase_loops
+        shared = sum(
+            1 for a, b in zip(loops[0], loops[1]) if a == b
+        ) / len(loops[0])
+        assert shared >= 0.5  # phase_stability default 0.7, minus churn
