@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Time a representative figure batch serial vs. parallel, emit JSON.
+
+The batch is the Figure 5/8 policy mix over a few apps — all cold-cache
+(disk layer disabled, in-process caches cleared before each arm) — run
+once through ``run_batch(jobs=N)`` and once through the serial path.
+The JSON records wall-clock per arm, the speedup, the machine's core
+count, and whether the two arms produced field-identical stats.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_parallel.py \
+        --apps kafka,clang,postgres --trace-len 20000 --jobs 4 \
+        --output BENCH_parallel_engine.json --check-determinism
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.harness.bench import (  # noqa: E402
+    BENCH_APPS,
+    BENCH_POLICIES,
+    compare_serial_parallel,
+    representative_requests,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--apps", default=",".join(BENCH_APPS),
+                        help="comma-separated apps in the batch")
+    parser.add_argument("--policies", default=",".join(BENCH_POLICIES),
+                        help="comma-separated policies in the batch")
+    parser.add_argument("--trace-len", type=int, default=None,
+                        help="PW lookups per trace (default: full length)")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="workers for the parallel arm (default 4)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="also write the JSON to this file")
+    parser.add_argument("--check-determinism", action="store_true",
+                        help="exit non-zero unless both arms produced "
+                             "field-identical stats")
+    args = parser.parse_args(argv)
+
+    requests = representative_requests(
+        apps=tuple(a.strip() for a in args.apps.split(",") if a.strip()),
+        policies=tuple(p.strip() for p in args.policies.split(",") if p.strip()),
+        trace_len=args.trace_len,
+    )
+    outcome = compare_serial_parallel(requests, jobs=args.jobs)
+    outcome["apps"] = args.apps
+    outcome["policies"] = args.policies
+    outcome["trace_len"] = args.trace_len
+
+    text = json.dumps(outcome, indent=2)
+    print(text)
+    if args.output is not None:
+        args.output.write_text(text + "\n")
+
+    if args.check_determinism and not outcome["identical_results"]:
+        print("FAIL: parallel results differ from serial", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,18 +5,34 @@ Examples::
     repro list                 # available experiments
     repro fig8                 # FURBYS miss-reduction table
     repro fig10 --apps kafka   # FLACK ablation on one app
+    repro fig8 --jobs 4        # fan cold runs out over 4 workers
+    repro bench                # time a batch serial vs parallel
     repro all                  # everything (long)
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
 
 from .harness.experiments import EXPERIMENTS
-from .harness.reporting import bar_chart, format_table
+from .harness.reporting import bar_chart, format_batch_report, format_table
+
+
+def _bench(args: argparse.Namespace) -> int:
+    """Time a representative cold batch serial vs. parallel."""
+    from .harness.bench import (
+        BENCH_APPS, compare_serial_parallel, representative_requests,
+    )
+
+    apps = tuple(args.apps.split(",")) if args.apps else BENCH_APPS
+    requests = representative_requests(apps=apps, trace_len=args.trace_len)
+    outcome = compare_serial_parallel(requests, jobs=args.jobs)
+    print(json.dumps(outcome, indent=2))
+    return 0 if outcome["identical_results"] else 1
 
 
 def _render(name: str) -> str:
@@ -39,6 +55,11 @@ def _render(name: str) -> str:
             ))
         else:
             parts.append(f"{key}: {value}")
+    from .harness.parallel import last_batch_report
+
+    report = last_batch_report()
+    if report is not None:
+        parts.append(format_batch_report(report))
     parts.append(f"[{elapsed:.1f}s]")
     return "\n".join(parts)
 
@@ -51,7 +72,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'repro list'), 'list', or 'all'",
+        help="experiment id (see 'repro list'), 'list', 'bench', or 'all'",
     )
     parser.add_argument(
         "--apps",
@@ -62,13 +83,22 @@ def main(argv: list[str] | None = None) -> int:
         help="PW lookups per trace (sets REPRO_TRACE_LEN; needs fresh process "
              "caches to take effect on already-generated traces)",
     )
+    parser.add_argument(
+        "--jobs", type=int,
+        help="worker processes for cold simulation batches (sets REPRO_JOBS; "
+             "1 = serial, default REPRO_JOBS or the machine's cpu count)",
+    )
     args = parser.parse_args(argv)
 
     if args.apps:
         os.environ["REPRO_APPS"] = args.apps
     if args.trace_len:
         os.environ["REPRO_TRACE_LEN"] = str(args.trace_len)
+    if args.jobs:
+        os.environ["REPRO_JOBS"] = str(args.jobs)
 
+    if args.experiment == "bench":
+        return _bench(args)
     if args.experiment == "list":
         for name in EXPERIMENTS:
             print(name)

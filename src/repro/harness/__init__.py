@@ -1,6 +1,17 @@
-"""Experiment harness: memoized runs, figure/table experiments, reports."""
+"""Experiment harness: memoized runs, batch engine, experiments, reports."""
 
+from .parallel import BatchExecutionError, BatchReport, run_batch, run_many
+from .reporting import format_batch_report, format_table, percent
 from .runner import RunRequest, run
-from .reporting import format_table, percent
 
-__all__ = ["RunRequest", "run", "format_table", "percent"]
+__all__ = [
+    "BatchExecutionError",
+    "BatchReport",
+    "RunRequest",
+    "format_batch_report",
+    "format_table",
+    "percent",
+    "run",
+    "run_batch",
+    "run_many",
+]

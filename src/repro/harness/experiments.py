@@ -24,6 +24,7 @@ from ..profiling.hints import build_hints
 from ..timing.model import TimingModel
 from ..workloads.apps import app_names
 from ..workloads.registry import get_trace
+from .parallel import run_many
 from .reporting import mean, percent
 from .runner import RunRequest, run
 
@@ -44,8 +45,24 @@ def selected_apps() -> tuple[str, ...]:
     return chosen or app_names()
 
 
+def _baseline_request(app: str, **kwargs) -> RunRequest:
+    return RunRequest(app=app, policy="lru", **kwargs)
+
+
 def _baseline(app: str, **kwargs) -> SimulationStats:
-    return run(RunRequest(app=app, policy="lru", **kwargs))
+    return run(_baseline_request(app, **kwargs))
+
+
+def _run_map(requests: dict) -> dict[object, SimulationStats]:
+    """Execute a keyed request dict as one batch, results under the keys.
+
+    This is how every figure goes through the batch engine: build all
+    requests first, one :func:`run_many` call, then assemble the table
+    from the returned stats.
+    """
+    keys = list(requests)
+    stats = run_many([requests[key] for key in keys])
+    return dict(zip(keys, stats))
 
 
 # --------------------------------------------------------------------------
@@ -102,9 +119,14 @@ def miss_classification() -> dict:
     rows = []
     sums = defaultdict(float)
     apps = selected_apps()
+    stats_by = _run_map({
+        (app, policy): RunRequest(app=app, policy=policy, classify_misses=True)
+        for app in apps
+        for policy in ("lru", "flack")
+    })
     for app in apps:
-        lru = run(RunRequest(app=app, policy="lru", classify_misses=True))
-        flack = run(RunRequest(app=app, policy="flack", classify_misses=True))
+        lru = stats_by[(app, "lru")]
+        flack = stats_by[(app, "flack")]
         row = [app]
         for stats, tag in ((lru, "lru"), (flack, "flack")):
             breakdown = stats.miss_breakdown
@@ -138,13 +160,19 @@ def fig2_perfect_structures() -> dict:
     rows = []
     sums = defaultdict(float)
     apps = selected_apps()
+    requests: dict = {(app, None): _baseline_request(app) for app in apps}
+    requests.update({
+        (app, structure): RunRequest(app=app, policy="lru", perfect=(structure,))
+        for app in apps
+        for structure in structures
+    })
+    stats_by = _run_map(requests)
+    config = preset("zen3")
     for app in apps:
-        config = preset("zen3")
-        base = _baseline(app)
+        base = stats_by[(app, None)]
         row = [app]
         for structure in structures:
-            stats = run(RunRequest(app=app, policy="lru", perfect=(structure,)))
-            gain = ppw_gain(config, stats, base)
+            gain = ppw_gain(config, stats_by[(app, structure)], base)
             sums[structure] += gain
             row.append(percent(gain))
         rows.append(tuple(row))
@@ -165,12 +193,16 @@ def _miss_reduction_matrix(policies: tuple[str, ...], **req_kwargs) -> dict:
     rows = []
     sums = defaultdict(float)
     apps = selected_apps()
+    stats_by = _run_map({
+        (app, policy): RunRequest(app=app, policy=policy, **req_kwargs)
+        for app in apps
+        for policy in ("lru", *policies)
+    })
     for app in apps:
-        base = _baseline(app, **req_kwargs)
+        base = stats_by[(app, "lru")]
         row = [app]
         for policy in policies:
-            stats = run(RunRequest(app=app, policy=policy, **req_kwargs))
-            reduction = stats.miss_reduction_vs(base)
+            reduction = stats_by[(app, policy)].miss_reduction_vs(base)
             sums[policy] += reduction
             row.append(percent(reduction, 1))
         rows.append(tuple(row))
@@ -216,12 +248,16 @@ def _ppw_matrix(config_name: str) -> dict:
     rows = []
     sums = defaultdict(float)
     apps = selected_apps()
+    stats_by = _run_map({
+        (app, policy): RunRequest(app=app, policy=policy, config=config_name)
+        for app in apps
+        for policy in ("lru", *policies)
+    })
     for app in apps:
-        base = _baseline(app, config=config_name)
+        base = stats_by[(app, "lru")]
         row = [app]
         for policy in policies:
-            stats = run(RunRequest(app=app, policy=policy, config=config_name))
-            gain = ppw_gain(config, stats, base, model=model)
+            gain = ppw_gain(config, stats_by[(app, policy)], base, model=model)
             sums[policy] += gain
             row.append(percent(gain))
         rows.append(tuple(row))
@@ -269,11 +305,16 @@ def fig11_ipc() -> dict:
     rows = []
     sums = defaultdict(float)
     apps = selected_apps()
+    stats_by = _run_map({
+        (app, policy): RunRequest(app=app, policy=policy)
+        for app in apps
+        for policy in ("lru", *policies)
+    })
     for app in apps:
-        base = timing.evaluate(_baseline(app))
+        base = timing.evaluate(stats_by[(app, "lru")])
         row = [app]
         for policy in policies:
-            result = timing.evaluate(run(RunRequest(app=app, policy=policy)))
+            result = timing.evaluate(stats_by[(app, policy)])
             speedup = result.speedup_vs(base)
             sums[policy] += speedup
             row.append(percent(speedup))
@@ -301,18 +342,29 @@ def fig12_iso_performance(
     rows = []
     equivalents = []
     apps = selected_apps()
+
+    def scaled_entries(scale: float) -> int:
+        entries = round(config.uop_cache.entries * scale / config.uop_cache.ways)
+        return entries * config.uop_cache.ways
+
+    requests: dict = {}
     for app in apps:
-        base = _baseline(app)
-        furbys = run(RunRequest(app=app, policy="furbys"))
+        requests[(app, "base")] = _baseline_request(app)
+        requests[(app, "furbys")] = RunRequest(app=app, policy="furbys")
+        for scale in scales[1:]:
+            requests[(app, scale)] = RunRequest(
+                app=app, policy="lru", cache_entries=scaled_entries(scale)
+            )
+    stats_by = _run_map(requests)
+    for app in apps:
+        base = stats_by[(app, "base")]
+        furbys = stats_by[(app, "furbys")]
         furbys_red = furbys.miss_reduction_vs(base)
         furbys_ipc = timing.evaluate(furbys).speedup_vs(timing.evaluate(base))
         row = [app, percent(furbys_red, 1)]
         equivalent = scales[-1]
         for scale in scales[1:]:
-            entries = round(config.uop_cache.entries * scale / config.uop_cache.ways)
-            entries *= config.uop_cache.ways
-            scaled = run(RunRequest(app=app, policy="lru", cache_entries=entries))
-            reduction = scaled.miss_reduction_vs(base)
+            reduction = stats_by[(app, scale)].miss_reduction_vs(base)
             row.append(percent(reduction, 1))
             if reduction >= furbys_red and scale < equivalent:
                 equivalent = scale
@@ -336,8 +388,9 @@ def fig13_energy_breakdown(app: str = "clang") -> dict:
     """Per-core energy breakdown on one app (Figure 13)."""
     config = preset("zen3")
     model = CorePowerModel(config)
-    base = _baseline(app)
-    furbys = run(RunRequest(app=app, policy="furbys"))
+    base, furbys = run_many([
+        _baseline_request(app), RunRequest(app=app, policy="furbys"),
+    ])
     reference = model.breakdown(base, uop_cache_present=False)
     lru = model.breakdown(base)
     improved = model.breakdown(furbys)
@@ -368,9 +421,14 @@ def fig14_energy_reduction() -> dict:
     component_sums: dict[str, float] = defaultdict(float)
     rows = []
     apps = selected_apps()
+    stats_by = _run_map({
+        (app, policy): RunRequest(app=app, policy=policy)
+        for app in apps
+        for policy in ("lru", "furbys")
+    })
     for app in apps:
-        base_bd = model.breakdown(_baseline(app))
-        furbys_bd = model.breakdown(run(RunRequest(app=app, policy="furbys")))
+        base_bd = model.breakdown(stats_by[(app, "lru")])
+        furbys_bd = model.breakdown(stats_by[(app, "furbys")])
         deltas = {
             name: base_bd.as_dict()[name] - furbys_bd.as_dict()[name]
             for name in base_bd.as_dict()
@@ -402,12 +460,18 @@ def fig15_profile_sources() -> dict:
     rows = []
     sums = defaultdict(float)
     apps = selected_apps()
+    requests: dict = {(app, None): _baseline_request(app) for app in apps}
+    requests.update({
+        (app, source): RunRequest(app=app, policy="furbys", profile_source=source)
+        for app in apps
+        for source in sources
+    })
+    stats_by = _run_map(requests)
     for app in apps:
-        base = _baseline(app)
+        base = stats_by[(app, None)]
         row = [app]
         for source in sources:
-            stats = run(RunRequest(app=app, policy="furbys", profile_source=source))
-            reduction = stats.miss_reduction_vs(base)
+            reduction = stats_by[(app, source)].miss_reduction_vs(base)
             sums[source] += reduction
             row.append(percent(reduction, 1))
         rows.append(tuple(row))
@@ -438,14 +502,18 @@ def fig16_size_assoc(
         configs.append((f"512e/{ways}w", {"cache_ways": ways}))
     gaps = []
     apps = selected_apps()
+    stats_by = _run_map({
+        (app, label, policy): RunRequest(app=app, policy=policy, **overrides)
+        for app in apps
+        for label, overrides in configs
+        for policy in ("lru", "furbys", "ghrp")
+    })
     for app in apps:
         row = [app]
         for label, overrides in configs:
-            base = _baseline(app, **overrides)
-            furbys = run(RunRequest(app=app, policy="furbys", **overrides))
-            ghrp = run(RunRequest(app=app, policy="ghrp", **overrides))
-            furbys_red = furbys.miss_reduction_vs(base)
-            ghrp_red = ghrp.miss_reduction_vs(base)
+            base = stats_by[(app, label, "lru")]
+            furbys_red = stats_by[(app, label, "furbys")].miss_reduction_vs(base)
+            ghrp_red = stats_by[(app, label, "ghrp")].miss_reduction_vs(base)
             gaps.append(furbys_red - ghrp_red)
             row.append(f"{furbys_red * 100:+.1f}/{ghrp_red * 100:+.1f}")
         rows.append(tuple(row))
@@ -469,15 +537,21 @@ def fig18_cross_validation(
     ratios = []
     cross_reductions = []
     apps = selected_apps()
+    requests: dict = {}
     for app in apps:
-        base = _baseline(app, input_name=test_input)
-        same = run(RunRequest(app=app, policy="furbys", input_name=test_input))
-        cross = run(RunRequest(
+        requests[(app, "base")] = _baseline_request(app, input_name=test_input)
+        requests[(app, "same")] = RunRequest(
+            app=app, policy="furbys", input_name=test_input
+        )
+        requests[(app, "cross")] = RunRequest(
             app=app, policy="furbys", input_name=test_input,
             profile_inputs=train_inputs,
-        ))
-        same_red = same.miss_reduction_vs(base)
-        cross_red = cross.miss_reduction_vs(base)
+        )
+    stats_by = _run_map(requests)
+    for app in apps:
+        base = stats_by[(app, "base")]
+        same_red = stats_by[(app, "same")].miss_reduction_vs(base)
+        cross_red = stats_by[(app, "cross")].miss_reduction_vs(base)
         ratio = cross_red / same_red if same_red > 0 else 0.0
         ratios.append(ratio)
         cross_reductions.append(cross_red)
@@ -501,12 +575,18 @@ def fig19_weight_groups(bit_widths: tuple[int, ...] = (1, 2, 3, 4, 6, 8)) -> dic
     rows = []
     sums = defaultdict(float)
     apps = selected_apps()
+    requests: dict = {(app, None): _baseline_request(app) for app in apps}
+    requests.update({
+        (app, bits): RunRequest(app=app, policy="furbys", hint_bits=bits)
+        for app in apps
+        for bits in bit_widths
+    })
+    stats_by = _run_map(requests)
     for app in apps:
-        base = _baseline(app)
+        base = stats_by[(app, None)]
         row = [app]
         for bits in bit_widths:
-            stats = run(RunRequest(app=app, policy="furbys", hint_bits=bits))
-            reduction = stats.miss_reduction_vs(base)
+            reduction = stats_by[(app, bits)].miss_reduction_vs(base)
             sums[bits] += reduction
             row.append(percent(reduction, 1))
         rows.append(tuple(row))
@@ -526,14 +606,20 @@ def fig20_pitfall_depth(depths: tuple[int, ...] = (0, 1, 2, 4, 8)) -> dict:
     rows = []
     sums = defaultdict(float)
     apps = selected_apps()
+    requests: dict = {(app, None): _baseline_request(app) for app in apps}
+    requests.update({
+        (app, depth): RunRequest(
+            app=app, policy="furbys", furbys_pitfall_depth=depth
+        )
+        for app in apps
+        for depth in depths
+    })
+    stats_by = _run_map(requests)
     for app in apps:
-        base = _baseline(app)
+        base = stats_by[(app, None)]
         row = [app]
         for depth in depths:
-            stats = run(RunRequest(
-                app=app, policy="furbys", furbys_pitfall_depth=depth
-            ))
-            reduction = stats.miss_reduction_vs(base)
+            reduction = stats_by[(app, depth)].miss_reduction_vs(base)
             sums[depth] += reduction
             row.append(percent(reduction, 1))
         rows.append(tuple(row))
@@ -554,10 +640,20 @@ def fig21_bypass() -> dict:
     deltas = []
     bypass_fractions = []
     apps = selected_apps()
+    requests: dict = {}
     for app in apps:
-        base = _baseline(app)
-        on = run(RunRequest(app=app, policy="furbys", furbys_bypass=True))
-        off = run(RunRequest(app=app, policy="furbys", furbys_bypass=False))
+        requests[(app, "base")] = _baseline_request(app)
+        requests[(app, True)] = RunRequest(
+            app=app, policy="furbys", furbys_bypass=True
+        )
+        requests[(app, False)] = RunRequest(
+            app=app, policy="furbys", furbys_bypass=False
+        )
+    stats_by = _run_map(requests)
+    for app in apps:
+        base = stats_by[(app, "base")]
+        on = stats_by[(app, True)]
+        off = stats_by[(app, False)]
         red_on = on.miss_reduction_vs(base)
         red_off = off.miss_reduction_vs(base)
         deltas.append(red_on - red_off)
@@ -577,8 +673,11 @@ def sec6c_coverage() -> dict:
     """Replacement coverage: FURBYS vs. SRRIP-fallback decisions."""
     rows = []
     coverages = []
-    for app in selected_apps():
-        stats = run(RunRequest(app=app, policy="furbys"))
+    apps = selected_apps()
+    all_stats = run_many(
+        [RunRequest(app=app, policy="furbys") for app in apps]
+    )
+    for app, stats in zip(apps, all_stats):
         coverages.append(stats.policy_coverage)
         rows.append((app, f"{stats.policy_coverage:.3f}",
                      f"{stats.bypass_fraction:.3f}"))
@@ -651,15 +750,20 @@ def sec7_noninclusive() -> dict:
     rows = []
     inclusive_speedups = []
     noninclusive_speedups = []
-    for app in selected_apps():
-        base_incl = timing.evaluate(_baseline(app))
-        furbys_incl = timing.evaluate(run(RunRequest(app=app, policy="furbys")))
-        base_non = timing.evaluate(
-            _baseline(app, inclusive=False)
+    apps = selected_apps()
+    stats_by = _run_map({
+        (app, policy, inclusive): RunRequest(
+            app=app, policy=policy, inclusive=inclusive
         )
-        furbys_non = timing.evaluate(
-            run(RunRequest(app=app, policy="furbys", inclusive=False))
-        )
+        for app in apps
+        for policy in ("lru", "furbys")
+        for inclusive in (True, False)
+    })
+    for app in apps:
+        base_incl = timing.evaluate(stats_by[(app, "lru", True)])
+        furbys_incl = timing.evaluate(stats_by[(app, "furbys", True)])
+        base_non = timing.evaluate(stats_by[(app, "lru", False)])
+        furbys_non = timing.evaluate(stats_by[(app, "furbys", False)])
         s_incl = furbys_incl.speedup_vs(base_incl)
         s_non = furbys_non.speedup_vs(base_non)
         inclusive_speedups.append(s_incl)
@@ -685,10 +789,16 @@ def abl_jenks_vs_uniform() -> dict:
     config = preset("zen3")
     rows = []
     deltas = []
-    for app in selected_apps():
+    apps = selected_apps()
+    stats_by = _run_map({
+        (app, policy): RunRequest(app=app, policy=policy)
+        for app in apps
+        for policy in ("lru", "furbys")
+    })
+    for app in apps:
         trace = get_trace(app)
         warmup = len(trace) // 3
-        base = _baseline(app)
+        base = stats_by[(app, "lru")]
         profile = profile_application(trace, config)
         # Equal-width binning of the same hit rates.
         uniform_hints = {
@@ -699,9 +809,7 @@ def abl_jenks_vs_uniform() -> dict:
         def evaluate(hints):
             pipeline = FrontendPipeline(config, FurbysPolicy(), hints=hints)
             return pipeline.run(trace, warmup=warmup)
-        jenks_red = run(
-            RunRequest(app=app, policy="furbys")
-        ).miss_reduction_vs(base)
+        jenks_red = stats_by[(app, "furbys")].miss_reduction_vs(base)
         uniform_red = evaluate(uniform_hints).miss_reduction_vs(base)
         deltas.append(jenks_red - uniform_red)
         rows.append((app, percent(jenks_red, 1), percent(uniform_red, 1)))
@@ -716,13 +824,18 @@ def abl_weight_scope() -> dict:
     """Per-set vs. global weight computation."""
     rows = []
     deltas = []
-    for app in selected_apps():
-        base = _baseline(app)
-        per_set = run(RunRequest(app=app, policy="furbys", weight_scope="per_set"))
-        global_scope = run(RunRequest(app=app, policy="furbys",
-                                      weight_scope="global"))
-        r_set = per_set.miss_reduction_vs(base)
-        r_glob = global_scope.miss_reduction_vs(base)
+    apps = selected_apps()
+    requests: dict = {(app, "base"): _baseline_request(app) for app in apps}
+    requests.update({
+        (app, scope): RunRequest(app=app, policy="furbys", weight_scope=scope)
+        for app in apps
+        for scope in ("per_set", "global")
+    })
+    stats_by = _run_map(requests)
+    for app in apps:
+        base = stats_by[(app, "base")]
+        r_set = stats_by[(app, "per_set")].miss_reduction_vs(base)
+        r_glob = stats_by[(app, "global")].miss_reduction_vs(base)
         deltas.append(r_set - r_glob)
         rows.append((app, percent(r_set, 1), percent(r_glob, 1)))
     return {
@@ -757,13 +870,18 @@ def abl_keep_larger() -> dict:
     """
     rows = []
     deltas = []
-    for app in selected_apps():
-        base_on = _baseline(app)
-        base_off = _baseline(app, keep_larger=False)
-        on = run(RunRequest(app=app, policy="furbys")).miss_reduction_vs(base_on)
-        off = run(RunRequest(
-            app=app, policy="furbys", keep_larger=False
-        )).miss_reduction_vs(base_off)
+    apps = selected_apps()
+    stats_by = _run_map({
+        (app, policy, keep): RunRequest(app=app, policy=policy, keep_larger=keep)
+        for app in apps
+        for policy in ("lru", "furbys")
+        for keep in (True, False)
+    })
+    for app in apps:
+        base_on = stats_by[(app, "lru", True)]
+        base_off = stats_by[(app, "lru", False)]
+        on = stats_by[(app, "furbys", True)].miss_reduction_vs(base_on)
+        off = stats_by[(app, "furbys", False)].miss_reduction_vs(base_off)
         lru_delta = base_off.uops_missed / max(1, base_on.uops_missed) - 1.0
         deltas.append(lru_delta)
         rows.append((app, percent(on, 1), percent(off, 1),
@@ -786,12 +904,20 @@ def abl_async_window(delays: tuple[int, ...] = (0, 2, 5, 10)) -> dict:
     rows = []
     lru_by_delay = defaultdict(list)
     flack_by_delay = defaultdict(list)
-    for app in selected_apps():
+    apps = selected_apps()
+    stats_by = _run_map({
+        (app, policy, delay): RunRequest(
+            app=app, policy=policy, insertion_delay=delay
+        )
+        for app in apps
+        for policy in ("lru", "flack")
+        for delay in delays
+    })
+    for app in apps:
         row = [app]
         for delay in delays:
-            lru = run(RunRequest(app=app, policy="lru", insertion_delay=delay))
-            flack = run(RunRequest(app=app, policy="flack",
-                                   insertion_delay=delay))
+            lru = stats_by[(app, "lru", delay)]
+            flack = stats_by[(app, "flack", delay)]
             lru_by_delay[delay].append(lru.uop_miss_rate)
             flack_by_delay[delay].append(flack.uop_miss_rate)
             row.append(f"{lru.uop_miss_rate:.3f}/{flack.uop_miss_rate:.3f}")

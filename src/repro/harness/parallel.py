@@ -1,0 +1,209 @@
+"""Parallel batch execution engine over the memoized runner.
+
+Every figure/table is a fan-out of independent simulations, so the
+experiments hand their full :class:`~repro.harness.runner.RunRequest`
+list to :func:`run_many` instead of looping over ``run()``:
+
+1. **dedup** — requests are collapsed by ``cache_key()`` (figures share
+   baselines heavily);
+2. **cache probe** — memory/disk hits are served inline in the parent;
+3. **fan-out** — the remaining cold runs are grouped by
+   ``(app, input, trace_len)`` so one worker re-derives each trace (and
+   any FURBYS/Thermometer profile) once, then executed on a
+   :class:`~concurrent.futures.ProcessPoolExecutor`;
+4. **write-back** — worker results are stored into both cache layers in
+   the parent, so memoization semantics are unchanged.
+
+``jobs=1`` (or ``REPRO_JOBS=1``) takes a plain serial path, which keeps
+debugging and coverage simple.  Traces, profiles and the simulation
+itself are deterministic, so parallel results are bit-identical to
+serial ones — the test suite asserts this.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..core.stats import SimulationStats
+from .runner import RunRequest, _memory_cache, cached_stats, run, store_stats
+
+__all__ = [
+    "BatchExecutionError",
+    "BatchReport",
+    "last_batch_report",
+    "resolve_jobs",
+    "run_batch",
+    "run_many",
+]
+
+
+@dataclass(slots=True)
+class BatchReport:
+    """Per-batch accounting: where each request was served from."""
+
+    requests: int = 0
+    unique: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    executed: int = 0
+    jobs: int = 1
+    chunks: int = 0
+    elapsed_s: float = 0.0
+
+    def to_json(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+class BatchExecutionError(RuntimeError):
+    """A simulation failed inside a batch; carries the offending request."""
+
+    def __init__(self, request: RunRequest, detail: str):
+        super().__init__(f"simulation failed for {request!r}:\n{detail}")
+        self.request = request
+        self.detail = detail
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Worker count: explicit arg, else ``REPRO_JOBS``, else cpu count."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if env:
+            jobs = int(env)
+        else:
+            jobs = os.cpu_count() or 1
+    return max(1, int(jobs))
+
+
+def _chunk_cold_requests(
+    requests: Sequence[RunRequest], jobs: int
+) -> list[list[RunRequest]]:
+    """Group requests into worker chunks that maximize trace reuse.
+
+    Requests sharing ``(app, input, trace_len)`` re-derive the same
+    trace (and, for profile-guided policies, mostly the same profile),
+    so they are kept on one worker.  Groups larger than the batch can
+    keep ``jobs`` workers busy are split in half until there are enough
+    chunks, largest-first so the pool schedules long chunks earliest.
+    """
+    groups: dict[tuple[str, str, int], list[RunRequest]] = {}
+    for request in requests:
+        key = (request.app, request.input_name, request.resolved_trace_len())
+        groups.setdefault(key, []).append(request)
+    chunks = list(groups.values())
+    while len(chunks) < jobs:
+        chunks.sort(key=len, reverse=True)
+        largest = chunks[0]
+        if len(largest) < 2:
+            break
+        mid = len(largest) // 2
+        chunks[0:1] = [largest[:mid], largest[mid:]]
+    chunks.sort(key=len, reverse=True)
+    return chunks
+
+
+def _simulate_chunk(requests: list[RunRequest]) -> list[tuple[str, object]]:
+    """Worker entry point: run each request, never raise.
+
+    Runs inside a pool process; traces/profiles are rebuilt there from
+    the request (they are deterministic) and cached per worker, so
+    same-app requests grouped onto this worker pay trace generation
+    once.  Exceptions are shipped back as formatted text so the parent
+    can attach the offending request.
+    """
+    out: list[tuple[str, object]] = []
+    for request in requests:
+        try:
+            out.append(("ok", run(request)))
+        except Exception:
+            out.append(("err", traceback.format_exc()))
+    return out
+
+
+_last_report: BatchReport | None = None
+
+
+def last_batch_report() -> BatchReport | None:
+    """The report of the most recent :func:`run_many` / :func:`run_batch`."""
+    return _last_report
+
+
+def run_batch(
+    requests: Iterable[RunRequest], jobs: int | None = None
+) -> tuple[list[SimulationStats], BatchReport]:
+    """Like :func:`run_many`, returning the :class:`BatchReport` too."""
+    global _last_report
+    requests = list(requests)
+    jobs = resolve_jobs(jobs)
+    report = BatchReport(requests=len(requests), jobs=jobs)
+    started = time.perf_counter()
+
+    # 1. dedup, preserving request order for the result list.
+    order: list[str] = []
+    unique: dict[str, RunRequest] = {}
+    for request in requests:
+        key = request.cache_key()
+        order.append(key)
+        unique.setdefault(key, request)
+    report.unique = len(unique)
+
+    # 2. serve cache hits inline.
+    results: dict[str, SimulationStats] = {}
+    cold: list[tuple[str, RunRequest]] = []
+    for key, request in unique.items():
+        in_memory = key in _memory_cache
+        stats = cached_stats(request, key)
+        if stats is not None:
+            results[key] = stats
+            if in_memory:
+                report.memory_hits += 1
+            else:
+                report.disk_hits += 1
+        else:
+            cold.append((key, request))
+    report.executed = len(cold)
+
+    # 3. execute the cold remainder (serial fallback or process fan-out),
+    # 4. writing worker results back into both cache layers here.
+    if cold and jobs == 1:
+        for key, request in cold:
+            try:
+                results[key] = run(request)
+            except Exception as exc:
+                raise BatchExecutionError(
+                    request, f"{type(exc).__name__}: {exc}"
+                ) from exc
+    elif cold:
+        chunks = _chunk_cold_requests([request for _, request in cold], jobs)
+        report.chunks = len(chunks)
+        with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
+            futures = {pool.submit(_simulate_chunk, chunk): chunk for chunk in chunks}
+            for future in as_completed(futures):
+                for request, (status, payload) in zip(futures[future], future.result()):
+                    if status == "err":
+                        raise BatchExecutionError(request, str(payload))
+                    key = request.cache_key()
+                    store_stats(request, payload, key)
+                    results[key] = payload
+
+    report.elapsed_s = time.perf_counter() - started
+    _last_report = report
+    return [results[key] for key in order], report
+
+
+def run_many(
+    requests: Iterable[RunRequest], jobs: int | None = None
+) -> list[SimulationStats]:
+    """Execute a batch of simulations, results in request order.
+
+    Duplicate requests are simulated once; every request's stats are
+    bit-identical to what serial ``run()`` would produce.  The batch
+    accounting is available via :func:`last_batch_report`.
+    """
+    results, _ = run_batch(requests, jobs=jobs)
+    return results

@@ -68,6 +68,23 @@ def bar_chart(
     return "\n".join(lines)
 
 
+def format_batch_report(report) -> str:
+    """One-line summary of a :class:`~repro.harness.parallel.BatchReport`."""
+    served = (
+        f"{report.memory_hits} memory + {report.disk_hits} disk hits, "
+        f"{report.executed} executed"
+    )
+    fan_out = (
+        f"{report.chunks} chunks on {report.jobs} jobs"
+        if report.chunks
+        else f"serial ({report.jobs} job)" if report.jobs == 1 else f"{report.jobs} jobs"
+    )
+    return (
+        f"batch: {report.requests} requests ({report.unique} unique) | "
+        f"{served} | {fan_out} | {report.elapsed_s:.1f}s"
+    )
+
+
 def geometric_mean(values: Sequence[float]) -> float:
     """Geometric mean of positive values (used for speedup summaries)."""
     if not values:

@@ -153,10 +153,22 @@ def clear_memory_cache() -> None:
 
 # --- policy construction -----------------------------------------------------
 
-def _profile_for(request: RunRequest, config: SimulationConfig) -> FurbysProfile:
+def _canonical_profile_inputs(request: RunRequest) -> tuple[str, ...]:
+    """Profile inputs in canonical (sorted) order.
+
+    The profile cache key hashes the sorted input set, so the merge
+    must also happen in sorted order — otherwise two orderings of the
+    same set would share one cache entry while producing
+    order-dependent merged profiles.
+    """
     inputs = request.profile_inputs or (request.input_name,)
+    return tuple(sorted(inputs))
+
+
+def _profile_for(request: RunRequest, config: SimulationConfig) -> FurbysProfile:
+    inputs = _canonical_profile_inputs(request)
     key = json.dumps(
-        [request.app, sorted(inputs), request.profile_source, request.hint_bits,
+        [request.app, list(inputs), request.profile_source, request.hint_bits,
          request.weight_scope, request.config, request.cache_entries,
          request.cache_ways, request.inclusive, request.resolved_trace_len(),
          list(request.perfect)],
@@ -214,8 +226,8 @@ def _build_policy_and_hints(
         )
         return policy, profile.hints
     if name == "thermometer":
-        inputs = request.profile_inputs or (request.input_name,)
-        key = json.dumps([request.app, sorted(inputs), request.config,
+        inputs = _canonical_profile_inputs(request)
+        key = json.dumps([request.app, list(inputs), request.config,
                           request.cache_entries, request.cache_ways,
                           request.resolved_trace_len(), list(request.perfect)])
         classes = _thermo_cache.get(key)
@@ -235,13 +247,17 @@ def _build_policy_and_hints(
 
 # --- the runner -----------------------------------------------------------------
 
-def run(request: RunRequest) -> SimulationStats:
-    """Execute (or recall) one simulation."""
-    key = request.cache_key()
+def cached_stats(request: RunRequest, key: str | None = None) -> SimulationStats | None:
+    """Probe the memory then disk cache; ``None`` on a full miss.
+
+    A disk hit is promoted into the memory layer.  Corrupt or truncated
+    disk entries (e.g. from a killed writer predating atomic renames)
+    are discarded so the run is recomputed.
+    """
+    key = key or request.cache_key()
     cached = _memory_cache.get(key)
     if cached is not None:
         return cached
-
     disk = _disk_cache_dir()
     if disk is not None:
         path = disk / f"{key}.json"
@@ -252,17 +268,54 @@ def run(request: RunRequest) -> SimulationStats:
                 return stats
             except (ValueError, KeyError, TypeError):
                 path.unlink(missing_ok=True)
+    return None
 
+
+def store_stats(
+    request: RunRequest, stats: SimulationStats, key: str | None = None
+) -> None:
+    """Write a result into both cache layers.
+
+    The disk write goes to a per-process ``.tmp`` file first and is
+    published with an atomic :func:`os.replace`, so concurrent writers
+    of the same key (parallel workers sharing ``.repro-cache/``) and
+    interrupted processes can never leave a truncated entry behind.
+    """
+    key = key or request.cache_key()
+    _memory_cache[key] = stats
+    disk = _disk_cache_dir()
+    if disk is None:
+        return
+    payload = json.dumps(RunResult(request, stats).to_json())
+    tmp = disk / f"{key}.{os.getpid()}.tmp"
+    try:
+        tmp.write_text(payload)
+        os.replace(tmp, disk / f"{key}.json")
+    except OSError:
+        tmp.unlink(missing_ok=True)
+
+
+def execute(request: RunRequest) -> SimulationStats:
+    """Compute one simulation, bypassing the result caches.
+
+    Trace and profile construction still go through their own
+    process-local caches, which is what makes grouping same-app
+    requests onto one worker cheap.
+    """
     config = request.build_config()
     trace = get_trace(request.app, request.input_name, request.resolved_trace_len())
     policy, hints = _build_policy_and_hints(request, config, trace)
     pipeline = FrontendPipeline(
         config, policy, hints=hints, classify_misses=request.classify_misses
     )
-    stats = pipeline.run(trace, warmup=request.resolved_warmup())
+    return pipeline.run(trace, warmup=request.resolved_warmup())
 
-    _memory_cache[key] = stats
-    if disk is not None:
-        result = RunResult(request, stats)
-        (disk / f"{key}.json").write_text(json.dumps(result.to_json()))
+
+def run(request: RunRequest) -> SimulationStats:
+    """Execute (or recall) one simulation."""
+    key = request.cache_key()
+    stats = cached_stats(request, key)
+    if stats is None:
+        stats = execute(request)
+        store_stats(request, stats, key)
     return stats

@@ -1,9 +1,10 @@
-"""Parameter-sweep helpers over the memoized runner.
+"""Parameter-sweep helpers over the batch execution engine.
 
 Thin conveniences used by the ISO-performance (Figure 12) and
 size/associativity (Figure 16) studies and by downstream scripts that
 want "policy X across geometries" without writing the request loops by
-hand.
+hand.  Each sweep builds its full request list and hands it to
+:func:`~repro.harness.parallel.run_many` as one batch.
 """
 
 from __future__ import annotations
@@ -12,7 +13,26 @@ from dataclasses import replace
 from typing import Iterable
 
 from ..core.stats import SimulationStats
-from .runner import RunRequest, run
+from .parallel import run_many
+from .runner import RunRequest
+
+
+def _geometry_sweep(
+    app: str,
+    policy: str,
+    field_name: str,
+    values: Iterable[int],
+    base: RunRequest | None,
+) -> dict[int, SimulationStats]:
+    if base is None:
+        template = RunRequest(app=app, policy=policy)
+    else:
+        template = replace(base, app=app, policy=policy)
+    points = list(values)
+    stats = run_many(
+        [replace(template, **{field_name: value}) for value in points]
+    )
+    return dict(zip(points, stats))
 
 
 def capacity_sweep(
@@ -23,12 +43,7 @@ def capacity_sweep(
     base: RunRequest | None = None,
 ) -> dict[int, SimulationStats]:
     """Run one policy across micro-op cache capacities."""
-    template = base or RunRequest(app=app, policy=policy)
-    template = replace(template, app=app, policy=policy)
-    return {
-        entries: run(replace(template, cache_entries=entries))
-        for entries in entry_counts
-    }
+    return _geometry_sweep(app, policy, "cache_entries", entry_counts, base)
 
 
 def associativity_sweep(
@@ -39,12 +54,7 @@ def associativity_sweep(
     base: RunRequest | None = None,
 ) -> dict[int, SimulationStats]:
     """Run one policy across micro-op cache associativities."""
-    template = base or RunRequest(app=app, policy=policy)
-    template = replace(template, app=app, policy=policy)
-    return {
-        ways: run(replace(template, cache_ways=ways))
-        for ways in way_counts
-    }
+    return _geometry_sweep(app, policy, "cache_ways", way_counts, base)
 
 
 def iso_capacity(
@@ -62,15 +72,20 @@ def iso_capacity(
     Returns None when even the largest sweep point falls short (the
     paper's Postgres case: FURBYS beats LRU at 2x capacity).
     """
-    baseline = run(RunRequest(app=app, policy=baseline_policy,
-                              trace_len=trace_len))
-    reference = run(RunRequest(app=app, policy=reference_policy,
-                               trace_len=trace_len))
-    target = reference.miss_reduction_vs(baseline)
-    for scale in sorted(scales):
+    points = sorted(scales)
+    requests = [
+        RunRequest(app=app, policy=baseline_policy, trace_len=trace_len),
+        RunRequest(app=app, policy=reference_policy, trace_len=trace_len),
+    ]
+    for scale in points:
         entries = round(base_entries * scale / ways) * ways
-        scaled = run(RunRequest(app=app, policy=baseline_policy,
-                                cache_entries=entries, trace_len=trace_len))
-        if scaled.miss_reduction_vs(baseline) >= target:
+        requests.append(RunRequest(
+            app=app, policy=baseline_policy,
+            cache_entries=entries, trace_len=trace_len,
+        ))
+    baseline, reference, *scaled = run_many(requests)
+    target = reference.miss_reduction_vs(baseline)
+    for scale, stats in zip(points, scaled):
+        if stats.miss_reduction_vs(baseline) >= target:
             return scale
     return None

@@ -1,7 +1,9 @@
 """Tests for the experiment harness (runner, reporting, CLI)."""
 
+import dataclasses
 import json
 import os
+from concurrent.futures import ProcessPoolExecutor
 
 import pytest
 
@@ -96,6 +98,78 @@ class TestRun:
         path.write_text("{not json")
         stats = run(request)
         assert stats.uops_total > 0
+
+
+def _hammer_same_key(cache_dir: str, rounds: int) -> str:
+    """Worker: repeatedly publish the same cache entry (integrity test)."""
+    os.environ["REPRO_CACHE"] = "1"
+    os.environ["REPRO_CACHE_DIR"] = cache_dir
+    from repro.harness.runner import clear_memory_cache, store_stats
+
+    clear_memory_cache()
+    request = RunRequest(app="kafka", policy="lru", **SMALL)
+    stats = run(request)
+    key = request.cache_key()
+    for _ in range(rounds):
+        store_stats(request, stats, key)
+    return key
+
+
+class TestCacheIntegrity:
+    def test_disk_write_is_atomic_under_concurrency(self, tmp_path):
+        """Two processes publishing the same key never expose a torn file."""
+        request = RunRequest(app="kafka", policy="lru", **SMALL)
+        path = tmp_path / f"{request.cache_key()}.json"
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            futures = [
+                pool.submit(_hammer_same_key, str(tmp_path), 40)
+                for _ in range(2)
+            ]
+            # Read concurrently with the writers: every observed state
+            # must be complete, valid JSON (os.replace is atomic).
+            while not all(f.done() for f in futures):
+                if path.exists():
+                    payload = json.loads(path.read_text())
+                    assert payload["request"]["app"] == "kafka"
+            for future in futures:
+                assert future.result() == request.cache_key()
+        assert json.loads(path.read_text())["request"]["policy"] == "lru"
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_corrupt_entry_discarded_by_batch_engine(self, tmp_path,
+                                                     monkeypatch):
+        from repro.harness.parallel import run_many
+
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_memory_cache()
+        request = RunRequest(app="kafka", policy="lru", **SMALL)
+        path = tmp_path / f"{request.cache_key()}.json"
+        path.write_text('{"request": {"app": "kafka"')  # truncated write
+        stats = run_many([request], jobs=1)[0]
+        assert stats.uops_total > 0
+        assert json.loads(path.read_text())["stats"]  # rewritten whole
+
+    def test_interrupted_tmp_file_is_ignored(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_memory_cache()
+        request = RunRequest(app="kafka", policy="lru", **SMALL)
+        (tmp_path / f"{request.cache_key()}.12345.tmp").write_text("{trunc")
+        assert run(request).uops_total > 0
+
+
+class TestProfileInputOrdering:
+    def test_profile_input_order_does_not_change_results(self):
+        """Regression: merge order must match the sorted cache key."""
+        def stats_for(inputs):
+            clear_memory_cache()
+            return run(RunRequest(app="kafka", policy="furbys",
+                                  profile_inputs=inputs, **SMALL))
+
+        forward = stats_for(("alt-seed", "mixed-load"))
+        backward = stats_for(("mixed-load", "alt-seed"))
+        assert dataclasses.asdict(forward) == dataclasses.asdict(backward)
 
 
 class TestRunResultSerialization:
