@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Measure the single-run hot path: the end-to-end cold serial batch.
+
+The metric is the one PR 1 recorded for the serial arm in
+``BENCH_parallel_engine.json``: wall-clock for the representative
+figure batch (3 apps x 5 policies x 20k-lookup traces) executed
+serially with cold caches, including trace generation and policy
+construction — i.e. what a single `repro` invocation actually pays.
+Each arm reports best-of-``--repeats`` (minimum; the defensible
+estimate on a noisy host).
+
+With ``--before-src`` pointing at a pre-optimization checkout's
+``src/`` (e.g. a git worktree), the same batch is timed there and the
+two arms' SimulationStats are compared field-by-field, making the
+bit-identity claim part of the artifact.
+
+Usage::
+
+    git worktree add /tmp/before-wt <pre-optimization-commit>
+    PYTHONPATH=src python scripts/bench_hotpath.py \
+        --before-src /tmp/before-wt/src --output BENCH_hotpath.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Runs inside a fresh interpreter per arm so the two arms cannot share
+#: imported modules or warmed caches.  Prints one JSON object.
+_INNER = r"""
+import dataclasses, json, os, sys, time
+os.environ["REPRO_CACHE"] = "0"
+from repro.harness.bench import _cold_start, representative_requests
+from repro.harness.runner import execute
+
+apps, policies, trace_len, repeats = (
+    tuple(sys.argv[1].split(",")), tuple(sys.argv[2].split(",")),
+    int(sys.argv[3]), int(sys.argv[4]),
+)
+requests = representative_requests(apps=apps, policies=policies,
+                                   trace_len=trace_len)
+readings, stats = [], None
+for _ in range(repeats):
+    _cold_start()
+    started = time.perf_counter()
+    stats = [execute(request) for request in requests]
+    readings.append(round(time.perf_counter() - started, 3))
+best = min(readings)
+total_lookups = trace_len * len(requests)
+json.dump({
+    "runs": len(requests),
+    "trace_len": trace_len,
+    "total_lookups": total_lookups,
+    "readings_s": readings,
+    "serial_s": best,
+    "lookups_per_s": round(total_lookups / best, 1),
+    "stats": [dataclasses.asdict(s) for s in stats],
+}, sys.stdout)
+"""
+
+
+def _time_arm(src: Path, apps: str, policies: str,
+              trace_len: int, repeats: int) -> dict:
+    env = dict(os.environ, PYTHONPATH=str(src))
+    output = subprocess.run(
+        [sys.executable, "-c", _INNER, apps, policies,
+         str(trace_len), str(repeats)],
+        env=env, check=True, capture_output=True, text=True,
+    ).stdout
+    return json.loads(output)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--apps", default="kafka,clang,postgres")
+    parser.add_argument("--policies", default="lru,srrip,ghrp,flack,furbys")
+    parser.add_argument("--trace-len", type=int, default=20_000)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="batch repetitions per arm (best-of)")
+    parser.add_argument("--before-src", type=Path, default=None,
+                        help="src/ of a pre-optimization checkout; when "
+                             "given, times it and checks bit-identity")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="also write the JSON to this file")
+    parser.add_argument("--skip-micro", action="store_true",
+                        help="omit the per-stage microbench detail")
+    args = parser.parse_args(argv)
+
+    after = _time_arm(REPO / "src", args.apps, args.policies,
+                      args.trace_len, args.repeats)
+    outcome = {
+        "benchmark": "end-to-end cold serial batch "
+                     f"({after['runs']} runs x {args.trace_len} lookups: "
+                     "trace gen + policy build + pipeline)",
+        "apps": args.apps,
+        "policies": args.policies,
+        "after": {k: after[k] for k in
+                  ("readings_s", "serial_s", "lookups_per_s")},
+    }
+
+    if args.before_src is not None:
+        before = _time_arm(args.before_src, args.apps, args.policies,
+                           args.trace_len, args.repeats)
+        outcome["before"] = {k: before[k] for k in
+                             ("readings_s", "serial_s", "lookups_per_s")}
+        outcome["speedup"] = round(before["serial_s"] / after["serial_s"], 3)
+        outcome["identical_results"] = before["stats"] == after["stats"]
+
+    if not args.skip_micro:
+        sys.path.insert(0, str(REPO / "src"))
+        from repro.harness.microbench import microbench_batch  # noqa: E402
+
+        os.environ["REPRO_CACHE"] = "0"
+        detail = microbench_batch(
+            tuple(args.apps.split(",")), tuple(args.policies.split(",")),
+            trace_len=args.trace_len, repeats=args.repeats,
+        )
+        outcome["stage_detail"] = detail["aggregate"]
+
+    text = json.dumps(outcome, indent=2)
+    print(text)
+    if args.output is not None:
+        args.output.write_text(text + "\n")
+    return 0 if outcome.get("identical_results", True) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,9 @@ Examples::
     repro fig10 --apps kafka   # FLACK ablation on one app
     repro fig8 --jobs 4        # fan cold runs out over 4 workers
     repro bench                # time a batch serial vs parallel
+    repro bench --micro        # per-stage single-run microbenchmark
+    repro bench --micro --baseline benchmarks/microbench_baseline.json
+    repro bench --profile      # cProfile one cold run
     repro all                  # everything (long)
 """
 
@@ -25,10 +28,49 @@ from .harness.reporting import bar_chart, format_batch_report, format_table
 def _bench(args: argparse.Namespace) -> int:
     """Time a representative cold batch serial vs. parallel."""
     from .harness.bench import (
-        BENCH_APPS, compare_serial_parallel, representative_requests,
+        BENCH_APPS, BENCH_POLICIES, compare_serial_parallel,
+        representative_requests,
     )
 
     apps = tuple(args.apps.split(",")) if args.apps else BENCH_APPS
+    policies = (
+        tuple(args.policies.split(",")) if args.policies else BENCH_POLICIES
+    )
+
+    if args.profile:
+        from .harness.microbench import profile_run
+
+        print(profile_run(
+            apps[0], policies[0],
+            trace_len=args.trace_len or 20_000,
+        ))
+        return 0
+
+    if args.micro:
+        from .harness.microbench import check_baseline, microbench_batch
+
+        outcome = microbench_batch(
+            apps, policies,
+            trace_len=args.trace_len or 20_000,
+            repeats=args.repeats,
+        )
+        text = json.dumps(outcome, indent=2)
+        print(text)
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(text + "\n")
+        if args.baseline:
+            with open(args.baseline) as handle:
+                baseline = json.load(handle)
+            ok, message = check_baseline(
+                outcome["aggregate"], baseline["aggregate"],
+                tolerance=args.tolerance,
+            )
+            print(message, file=sys.stderr)
+            if not ok:
+                return 1
+        return 0 if outcome["aggregate"]["identical_results"] else 1
+
     requests = representative_requests(apps=apps, trace_len=args.trace_len)
     outcome = compare_serial_parallel(requests, jobs=args.jobs)
     print(json.dumps(outcome, indent=2))
@@ -87,6 +129,36 @@ def main(argv: list[str] | None = None) -> int:
         "--jobs", type=int,
         help="worker processes for cold simulation batches (sets REPRO_JOBS; "
              "1 = serial, default REPRO_JOBS or the machine's cpu count)",
+    )
+    parser.add_argument(
+        "--micro", action="store_true",
+        help="bench only: per-stage single-run microbenchmark "
+             "(trace gen / policy build / prepare / pipeline / hooks)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="bench only: cProfile one cold run (first app x first policy)",
+    )
+    parser.add_argument(
+        "--policies",
+        help="bench only: comma-separated policy subset for --micro/--profile",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="bench only: loop repetitions per --micro timing (best-of)",
+    )
+    parser.add_argument(
+        "--baseline",
+        help="bench only: microbench JSON to guard against (exit 1 when "
+             "lookups/s falls more than --tolerance below it)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="bench only: allowed fractional regression vs --baseline",
+    )
+    parser.add_argument(
+        "--output",
+        help="bench only: also write the --micro report to this file",
     )
     args = parser.parse_args(argv)
 

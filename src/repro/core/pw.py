@@ -18,7 +18,6 @@ Terminology from the paper used throughout this package:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from ..errors import TraceError
@@ -26,7 +25,9 @@ from ..errors import TraceError
 
 def pw_size(uops: int, uops_per_entry: int) -> int:
     """Entries occupied by a PW of ``uops`` micro-ops (its *size*)."""
-    return math.ceil(uops / uops_per_entry)
+    # Integer ceiling division; equivalent to math.ceil for positive
+    # ints but allocation-free on the simulation hot path.
+    return -(-uops // uops_per_entry)
 
 
 @dataclass(frozen=True, slots=True)
@@ -104,6 +105,9 @@ class StoredPW:
     #: Way slots occupied within the cache set (assigned at insertion);
     #: ``slots[0]`` is the way id the miss-pitfall detector records.
     slots: tuple[int, ...] = ()
+    #: Icache line numbers the PW spans (filled by the cache when the
+    #: PW is mapped into the inclusivity reverse map).
+    lines: range = range(0)
 
     @classmethod
     def from_lookup(cls, lookup: PWLookup, uops_per_entry: int) -> "StoredPW":

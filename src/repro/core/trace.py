@@ -23,12 +23,33 @@ from __future__ import annotations
 import io
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from ..errors import TraceError
 from .pw import PWLookup
 
 _HEADER = "#repro-trace v1"
+
+
+@dataclass(slots=True)
+class PreparedTrace:
+    """Per-lookup derived data under one cache geometry.
+
+    Built once by :meth:`Trace.prepared` and consumed by the frontend
+    pipeline's hot loop so per-lookup quantities that only depend on
+    the (PW, geometry) pair — micro-op cache set index, entry size,
+    icache line count of the full byte range — are computed once per
+    *unique* PW instead of on every dynamic lookup.  All sequences are
+    parallel to ``lookups``.
+    """
+
+    lookups: list[PWLookup]
+    #: Micro-op cache set index of each lookup's start address.
+    set_indices: list[int]
+    #: Cache entries the lookup occupies (``pw_size`` under geometry).
+    entry_sizes: list[int]
+    #: Icache lines covering the full ``[start, end)`` byte range.
+    line_counts: list[int]
 
 
 @dataclass(frozen=True, slots=True)
@@ -43,10 +64,18 @@ class TraceMetadata:
 
 @dataclass(slots=True)
 class Trace:
-    """A dynamic PW lookup sequence with provenance metadata."""
+    """A dynamic PW lookup sequence with provenance metadata.
+
+    Derived aggregates (``total_uops`` & friends) and geometry-specific
+    precomputations (:meth:`prepared`) are memoized in ``_derived``,
+    keyed by the lookup-list length so appends invalidate them
+    automatically.  Callers that mutate ``lookups`` *in place without
+    changing its length* must call :meth:`invalidate_derived`.
+    """
 
     lookups: list[PWLookup]
     metadata: TraceMetadata = field(default_factory=TraceMetadata)
+    _derived: dict = field(default_factory=dict, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.lookups)
@@ -57,31 +86,114 @@ class Trace:
     def __getitem__(self, index: int) -> PWLookup:
         return self.lookups[index]
 
+    # Keep pickles (process-pool workers, disk snapshots) free of the
+    # derived caches: prepared()'s keys may hold unpicklable closures.
+    def __getstate__(self):
+        return (self.lookups, self.metadata)
+
+    def __setstate__(self, state) -> None:
+        self.lookups, self.metadata = state
+        self._derived = {}
+
     # --- derived properties -------------------------------------------------
+
+    def invalidate_derived(self) -> None:
+        """Drop memoized aggregates after in-place lookup mutation."""
+        self._derived.clear()
+
+    def _totals(self) -> tuple[int, int, int, int]:
+        n = len(self.lookups)
+        cached = self._derived.get("totals")
+        if cached is not None and cached[0] == n:
+            return cached[1]
+        uops = insts = branches = mispredictions = 0
+        for pw in self.lookups:
+            uops += pw.uops
+            insts += pw.insts
+            if pw.terminated_by_branch:
+                branches += 1
+            if pw.mispredicted:
+                mispredictions += 1
+        totals = (uops, insts, branches, mispredictions)
+        self._derived["totals"] = (n, totals)
+        return totals
 
     @property
     def total_uops(self) -> int:
-        return sum(pw.uops for pw in self.lookups)
+        return self._totals()[0]
 
     @property
     def total_instructions(self) -> int:
-        return sum(pw.insts for pw in self.lookups)
+        return self._totals()[1]
 
     @property
     def total_branches(self) -> int:
-        return sum(1 for pw in self.lookups if pw.terminated_by_branch)
+        return self._totals()[2]
 
     @property
     def total_mispredictions(self) -> int:
-        return sum(1 for pw in self.lookups if pw.mispredicted)
+        return self._totals()[3]
 
     @property
     def branch_mpki(self) -> float:
         """Branches per kilo-instruction — comparable to Table II."""
-        insts = self.total_instructions
+        _, insts, branches, _ = self._totals()
         if insts == 0:
             return 0.0
-        return 1000.0 * self.total_branches / insts
+        return 1000.0 * branches / insts
+
+    def prepared(
+        self,
+        *,
+        n_sets: int,
+        uops_per_entry: int,
+        line_bytes: int,
+        set_index_fn: Callable[[int, int], int],
+    ) -> PreparedTrace:
+        """Per-lookup derived data under the given cache geometry.
+
+        Interns the computation per unique PW: the set index and line
+        count are computed once per distinct ``(start, bytes_len)`` and
+        the entry size once per distinct ``uops``, then broadcast to
+        every dynamic occurrence.  ``set_index_fn`` must be pure (all
+        shipped index functions are).  The result is memoized per
+        geometry, so several policies simulating the same trace share
+        one pass.
+        """
+        key = ("prepared", n_sets, uops_per_entry, line_bytes, set_index_fn)
+        n = len(self.lookups)
+        cached = self._derived.get(key)
+        if cached is not None and cached[0] == n:
+            return cached[1]
+        set_index_of: dict[int, int] = {}
+        size_of: dict[int, int] = {}
+        lines_of: dict[tuple[int, int], int] = {}
+        set_indices: list[int] = []
+        entry_sizes: list[int] = []
+        line_counts: list[int] = []
+        for pw in self.lookups:
+            start = pw.start
+            idx = set_index_of.get(start)
+            if idx is None:
+                idx = set_index_of[start] = set_index_fn(start, n_sets)
+            set_indices.append(idx)
+            uops = pw.uops
+            size = size_of.get(uops)
+            if size is None:
+                size = size_of[uops] = -(-uops // uops_per_entry)
+            entry_sizes.append(size)
+            span = (start, pw.bytes_len)
+            n_lines = lines_of.get(span)
+            if n_lines is None:
+                end = start + pw.bytes_len
+                n_lines = (end - 1) // line_bytes - start // line_bytes + 1
+                lines_of[span] = n_lines
+            line_counts.append(n_lines)
+        prepared = PreparedTrace(
+            self.lookups, set_indices, entry_sizes, line_counts
+        )
+        self._derived[key] = (n, prepared)
+        return prepared
 
     def unique_starts(self) -> set[int]:
         """Distinct PW start addresses (static code footprint in PWs)."""

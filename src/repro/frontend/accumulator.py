@@ -29,6 +29,9 @@ class InsertionRequest:
     weight: int | None
     #: Simulator time at which the decode completes and insertion fires.
     due: int
+    #: Micro-op cache set index of ``lookup.start``; negative when the
+    #: scheduler did not precompute it (the cache then derives it).
+    set_index: int = -1
 
 
 class Accumulator:

@@ -52,16 +52,33 @@ class InstructionCache:
     def access_range(self, start: int, end: int) -> list[int]:
         """Access every line covering ``[start, end)``.
 
-        Returns the evicted line addresses (possibly empty).
+        Returns the evicted line addresses (possibly empty).  Inlines
+        the per-line :meth:`access_line` body — this sits on the legacy
+        fetch path of every simulated micro-op cache miss.
         """
-        line_bytes = self.config.line_bytes
+        config = self.config
+        line_bytes = config.line_bytes
         first = start // line_bytes
-        last = max(first, (end - 1) // line_bytes)
+        last = (end - 1) // line_bytes
+        if last < first:
+            last = first
+        sets = self._sets
+        n_sets = config.sets
+        ways = config.ways
+        misses = 0
         evicted: list[int] = []
         for line in range(first, last + 1):
-            victim = self.access_line(line * line_bytes)
-            if victim is not None:
-                evicted.append(victim)
+            cset = sets[line % n_sets]
+            if line in cset:
+                cset.move_to_end(line)
+                continue
+            misses += 1
+            if len(cset) >= ways:
+                victim_line, _ = cset.popitem(last=False)
+                evicted.append(victim_line * line_bytes)
+            cset[line] = None
+        self.accesses += last - first + 1
+        self.misses += misses
         return evicted
 
     def contains(self, line_addr: int) -> bool:

@@ -1,0 +1,313 @@
+"""Per-stage microbenchmark of a single simulation run.
+
+``repro bench`` times the whole representative batch; this module
+answers the finer question — *where does one run spend its time?* — by
+timing each stage of :func:`~repro.harness.runner.execute` separately:
+
+* **trace generation** (CFG walk in :mod:`repro.workloads.generator`),
+* **policy construction** (for offline policies this is the future
+  index plus the FOO/FLACK flow-solver pass; for FURBYS the profiling
+  simulation including Jenks classification),
+* **trace preparation** (:meth:`~repro.core.trace.Trace.prepared`,
+  the per-unique-PW derivation the fast loop runs on),
+* the **fast pipeline loop** (:meth:`FrontendPipeline.run`),
+* the **reference loop** (:meth:`FrontendPipeline.run_reference`,
+  the unoptimized per-``step()`` baseline), and
+* **policy callbacks** (time inside the policy's observation and
+  decision hooks, measured with a delegating proxy in a separate
+  instrumented run so the clean timings are undisturbed).
+
+Loop timings are best-of-``repeats`` — on a noisy shared host the
+minimum is the defensible estimate of the true cost.  Every arm's
+:class:`~repro.core.stats.SimulationStats` are compared field-by-field
+so a timing harness bug that changes results cannot go unnoticed.
+
+Used by ``repro bench --micro`` / ``--profile`` and the CI microbench
+smoke step (:func:`check_baseline` against
+``benchmarks/microbench_baseline.json``).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import dataclasses
+import io
+import pstats
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Sequence
+
+from ..frontend.pipeline import FrontendPipeline
+from ..uopcache.replacement import ReplacementPolicy
+from ..workloads.registry import build_app_trace, get_profile
+from .bench import BENCH_APPS, BENCH_POLICIES
+from .runner import RunRequest, _build_policy_and_hints
+
+_HOOK_NAMES = (
+    "on_lookup", "on_hit", "on_partial_hit", "on_miss",
+    "on_insert", "on_evict", "should_bypass", "choose_victims",
+)
+
+
+class _TimedPolicy(ReplacementPolicy):
+    """Delegating proxy that attributes wall-clock time to policy hooks.
+
+    Every hook forwards to the wrapped policy, so decisions (and hence
+    simulation results) are unchanged; only the time spent inside the
+    hooks is accumulated.  Because the proxy overrides all hooks, the
+    pipeline's skip-unobserved-hooks fast path is disabled for the
+    instrumented run — which is exactly what we want: the no-op calls
+    it would have skipped cost (and therefore time) nothing real.
+    """
+
+    def __init__(self, inner: ReplacementPolicy) -> None:
+        super().__init__()
+        self._inner = inner
+        self.name = inner.name
+        self.hook_seconds = 0.0
+        self.hook_calls = 0
+
+    def attach(self, cache) -> None:
+        self._cache = cache
+        self._inner.attach(cache)
+
+    def __getattr__(self, item):
+        # Harness introspection (e.g. FURBYS selection counters) reads
+        # attributes off the pipeline's policy; forward to the real one.
+        return getattr(self._inner, item)
+
+
+def _make_timed_hook(name: str):
+    def hook(self, *args, **kwargs):
+        inner_hook = getattr(self._inner, name)
+        started = perf_counter()
+        result = inner_hook(*args, **kwargs)
+        self.hook_seconds += perf_counter() - started
+        self.hook_calls += 1
+        return result
+
+    hook.__name__ = name
+    return hook
+
+
+for _name in _HOOK_NAMES:
+    setattr(_TimedPolicy, _name, _make_timed_hook(_name))
+
+
+@dataclass(slots=True)
+class MicrobenchResult:
+    """Per-stage timings of one (app, policy) run."""
+
+    app: str
+    policy: str
+    trace_len: int
+    warmup: int
+    repeats: int
+    trace_gen_s: float
+    policy_build_s: float
+    prepare_s: float
+    pipeline_s: float
+    reference_s: float
+    policy_hooks_s: float
+    policy_hook_calls: int
+    lookups_per_s: float
+    reference_lookups_per_s: float
+    speedup_vs_reference: float
+    identical_to_reference: bool
+
+    def to_json(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def microbench_run(
+    app: str,
+    policy: str = "lru",
+    *,
+    trace_len: int = 20_000,
+    warmup: int = 0,
+    config: str = "zen3",
+    repeats: int = 3,
+) -> MicrobenchResult:
+    """Time every stage of one simulation; see the module docstring."""
+    request = RunRequest(
+        app=app, policy=policy, trace_len=trace_len, warmup=warmup,
+        config=config,
+    )
+    sim_config = request.build_config()
+
+    # Stage: trace generation (deliberately bypasses the trace cache —
+    # the point is to measure the CFG walk, not a dict lookup).
+    started = perf_counter()
+    trace = build_app_trace(get_profile(app), request.input_name, trace_len)
+    trace_gen_s = perf_counter() - started
+
+    # Stage: policy construction (future index + flow solver for the
+    # offline policies, profiling simulation + Jenks for FURBYS).
+    started = perf_counter()
+    built_policy, hints = _build_policy_and_hints(request, sim_config, trace)
+    policy_build_s = perf_counter() - started
+
+    # Stage: prepared-trace derivation.  The freshly built trace has an
+    # empty memo, so this times the real per-unique-PW pass; later
+    # pipeline arms then share the memoized result, exactly as repeated
+    # policy runs on one trace do in the experiment harness.
+    probe = FrontendPipeline(sim_config, built_policy, hints=hints)
+    started = perf_counter()
+    trace.prepared(
+        n_sets=probe.uop_cache.n_sets,
+        uops_per_entry=sim_config.uop_cache.uops_per_entry,
+        line_bytes=sim_config.icache.line_bytes,
+        set_index_fn=probe.uop_cache._set_index,
+    )
+    prepare_s = perf_counter() - started
+
+    # Stage: fast pipeline loop (best of ``repeats``).  Rebuilding the
+    # pipeline re-attaches the policy, which resets its per-run state.
+    stats = None
+    pipeline_s = float("inf")
+    for _ in range(max(1, repeats)):
+        pipeline = FrontendPipeline(sim_config, built_policy, hints=hints)
+        started = perf_counter()
+        stats = pipeline.run(trace, warmup=warmup)
+        pipeline_s = min(pipeline_s, perf_counter() - started)
+
+    # Stage: reference loop (the per-step() baseline the fast loop must
+    # stay bit-identical to).
+    reference_stats = None
+    reference_s = float("inf")
+    for _ in range(max(1, repeats)):
+        pipeline = FrontendPipeline(sim_config, built_policy, hints=hints)
+        started = perf_counter()
+        reference_stats = pipeline.run_reference(trace, warmup=warmup)
+        reference_s = min(reference_s, perf_counter() - started)
+
+    # Stage: policy callbacks, via a separate instrumented run.
+    timed = _TimedPolicy(built_policy)
+    pipeline = FrontendPipeline(sim_config, timed, hints=hints)
+    timed_stats = pipeline.run(trace, warmup=warmup)
+
+    identical = (
+        dataclasses.asdict(stats) == dataclasses.asdict(reference_stats)
+        == dataclasses.asdict(timed_stats)
+    )
+    return MicrobenchResult(
+        app=app,
+        policy=policy,
+        trace_len=trace_len,
+        warmup=warmup,
+        repeats=repeats,
+        trace_gen_s=trace_gen_s,
+        policy_build_s=policy_build_s,
+        prepare_s=prepare_s,
+        pipeline_s=pipeline_s,
+        reference_s=reference_s,
+        policy_hooks_s=timed.hook_seconds,
+        policy_hook_calls=timed.hook_calls,
+        lookups_per_s=trace_len / pipeline_s,
+        reference_lookups_per_s=trace_len / reference_s,
+        speedup_vs_reference=reference_s / pipeline_s,
+        identical_to_reference=identical,
+    )
+
+
+def microbench_batch(
+    apps: Sequence[str] = BENCH_APPS,
+    policies: Sequence[str] = BENCH_POLICIES,
+    *,
+    trace_len: int = 20_000,
+    warmup: int = 0,
+    config: str = "zen3",
+    repeats: int = 3,
+) -> dict:
+    """Microbench every (app, policy) pair; returns a JSON-able report.
+
+    The aggregate ``lookups_per_s`` (total lookups over total fast-loop
+    time) is the number the CI smoke step guards with
+    :func:`check_baseline`.
+    """
+    results = [
+        microbench_run(
+            app, policy, trace_len=trace_len, warmup=warmup,
+            config=config, repeats=repeats,
+        )
+        for app in apps
+        for policy in policies
+    ]
+    total_pipeline_s = sum(r.pipeline_s for r in results)
+    total_reference_s = sum(r.reference_s for r in results)
+    total_lookups = trace_len * len(results)
+    aggregate = {
+        "runs": len(results),
+        "trace_len": trace_len,
+        "total_lookups": total_lookups,
+        "total_pipeline_s": round(total_pipeline_s, 4),
+        "total_reference_s": round(total_reference_s, 4),
+        "trace_gen_s": round(sum(r.trace_gen_s for r in results), 4),
+        "policy_build_s": round(sum(r.policy_build_s for r in results), 4),
+        "prepare_s": round(sum(r.prepare_s for r in results), 4),
+        "policy_hooks_s": round(sum(r.policy_hooks_s for r in results), 4),
+        "lookups_per_s": round(total_lookups / total_pipeline_s, 1),
+        "speedup_vs_reference": round(total_reference_s / total_pipeline_s, 3),
+        "identical_results": all(r.identical_to_reference for r in results),
+    }
+    return {"results": [r.to_json() for r in results], "aggregate": aggregate}
+
+
+def profile_run(
+    app: str,
+    policy: str = "lru",
+    *,
+    trace_len: int = 20_000,
+    warmup: int = 0,
+    config: str = "zen3",
+    top: int = 30,
+) -> str:
+    """cProfile one cold run end-to-end; returns the cumulative report.
+
+    Profiles trace generation, policy construction and the fast
+    pipeline loop together — the same work a cold
+    :func:`~repro.harness.runner.execute` does — so hot-path
+    regressions show up with their callers attached.
+    """
+    request = RunRequest(
+        app=app, policy=policy, trace_len=trace_len, warmup=warmup,
+        config=config,
+    )
+    sim_config = request.build_config()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    trace = build_app_trace(get_profile(app), request.input_name, trace_len)
+    built_policy, hints = _build_policy_and_hints(request, sim_config, trace)
+    pipeline = FrontendPipeline(sim_config, built_policy, hints=hints)
+    pipeline.run(trace, warmup=warmup)
+    profiler.disable()
+    stream = io.StringIO()
+    pstats.Stats(profiler, stream=stream).sort_stats("cumulative").print_stats(top)
+    return stream.getvalue()
+
+
+def check_baseline(
+    aggregate: dict, baseline: dict, tolerance: float = 0.30
+) -> tuple[bool, str]:
+    """Compare a microbench aggregate against a committed baseline.
+
+    Fails when the measured ``lookups_per_s`` falls more than
+    ``tolerance`` below the baseline's, or when any run's results
+    diverged from the reference loop.  The default 30% slack absorbs
+    shared-runner noise while still catching a real hot-path
+    regression (the optimizations this guards are each >30%).
+    """
+    floor = baseline["lookups_per_s"] * (1.0 - tolerance)
+    current = aggregate["lookups_per_s"]
+    if not aggregate["identical_results"]:
+        return False, "microbench: fast loop diverged from the reference loop"
+    if current < floor:
+        return False, (
+            f"microbench: {current:.0f} lookups/s is below the regression "
+            f"floor {floor:.0f} (baseline {baseline['lookups_per_s']:.0f} "
+            f"- {tolerance:.0%})"
+        )
+    return True, (
+        f"microbench: {current:.0f} lookups/s >= floor {floor:.0f} "
+        f"(baseline {baseline['lookups_per_s']:.0f} - {tolerance:.0%})"
+    )

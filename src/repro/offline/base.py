@@ -104,6 +104,16 @@ class OfflineReplayPolicy(ReplacementPolicy):
             metric = ValueMetric.UOPS if variable_cost else ValueMetric.OHR
         self._metric = metric
         self.future = FutureIndex(trace, self._identity)
+        # Hot-path aliases: _score runs per resident per insertion
+        # attempt, so the future-index internals and the metric dispatch
+        # are bound once here instead of per call.
+        self._times = self.future._times
+        self._key_fn = self.future._key_fn
+        self._metric_mode = (
+            0 if metric is ValueMetric.OHR
+            else 1 if metric is ValueMetric.ENTRIES
+            else 2
+        )
         self.plan: AdmissionPlan | None = None
         if plan_mode:
             set_fn = set_index_fn or default_set_index
@@ -162,15 +172,18 @@ class OfflineReplayPolicy(ReplacementPolicy):
         has not been served yet, so a use *at* ``now`` counts
         (``now - 1`` below).
         """
-        next_use = self.future.next_use_of(pw, now - 1)
-        if next_use == NEVER:
-            return float("inf")
-        distance = float(next_use - now)
-        if self._metric is ValueMetric.OHR:
-            return distance * pw.size  # equal PW value, per-entry cost
-        if self._metric is ValueMetric.ENTRIES:
-            return distance  # value proportional to size: cancels
-        return distance * pw.size / max(1, pw.uops)
+        times = self._times.get(self._key_fn(pw))
+        if times:
+            index = bisect_right(times, now - 1)
+            if index < len(times):
+                distance = float(times[index] - now)
+                mode = self._metric_mode
+                if mode == 0:
+                    return distance * pw.size  # equal value, per-entry cost
+                if mode == 1:
+                    return distance  # value proportional to size: cancels
+                return distance * pw.size / max(1, pw.uops)
+        return float("inf")
 
     def _planned(self, start: int) -> bool:
         """Is the resident window's *current* interval plan-admitted?"""
@@ -228,4 +241,5 @@ class OfflineReplayPolicy(ReplacementPolicy):
             return sorted(resident, key=plan_rank)
         # Lazy eviction: residents are only displaced when an insertion
         # needs the space, ranked by evictability score at *this* moment.
-        return sorted(resident, key=lambda pw: -self._score(pw, now))
+        score = self._score
+        return sorted(resident, key=lambda pw: -score(pw, now))

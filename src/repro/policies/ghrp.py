@@ -49,24 +49,33 @@ class GHRPPolicy(ReplacementPolicy):
     def _signature(self, start: int) -> int:
         return ((start >> 4) ^ self._history) & 0xFFFFFFFF
 
-    def _indices(self, signature: int) -> list[int]:
-        return [
-            (signature >> (t * 5) ^ signature >> (t + 7)) & (_TABLE_SIZE - 1)
-            for t in range(_N_TABLES)
-        ]
+    def _indices(self, signature: int) -> tuple[int, int, int]:
+        # Unrolled form of (signature >> t*5 ^ signature >> t+7) & mask
+        # for t in 0..2 — _predict sits on the victim-ranking hot path.
+        mask = _TABLE_SIZE - 1
+        return (
+            (signature ^ signature >> 7) & mask,
+            (signature >> 5 ^ signature >> 8) & mask,
+            (signature >> 10 ^ signature >> 9) & mask,
+        )
 
     def _predict(self, signature: int) -> int:
-        return sum(
-            self._tables[t][i] for t, i in enumerate(self._indices(signature))
+        mask = _TABLE_SIZE - 1
+        t0, t1, t2 = self._tables
+        return (
+            t0[(signature ^ signature >> 7) & mask]
+            + t1[(signature >> 5 ^ signature >> 8) & mask]
+            + t2[(signature >> 10 ^ signature >> 9) & mask]
         )
 
     def _train(self, signature: int, dead: bool) -> None:
+        tables = self._tables
         for t, i in enumerate(self._indices(signature)):
-            counter = self._tables[t][i]
+            counter = tables[t][i]
             if dead:
-                self._tables[t][i] = min(_COUNTER_MAX, counter + 1)
+                tables[t][i] = min(_COUNTER_MAX, counter + 1)
             else:
-                self._tables[t][i] = max(0, counter - 1)
+                tables[t][i] = max(0, counter - 1)
 
     def _update_history(self, start: int) -> None:
         self._history = ((self._history << 5) ^ (start >> 4)) & 0xFFFFF
@@ -132,10 +141,14 @@ class GHRPPolicy(ReplacementPolicy):
 
     def victim_order(self, now: int, set_index: int, incoming: StoredPW,
                      resident: Sequence[StoredPW]) -> list[StoredPW]:
+        sig_of = self._sig.get
+        last_use_of = self._last_use.get
+        predict = self._predict
+
         def rank(pw: StoredPW) -> tuple[int, int]:
-            sig = self._sig.get(pw.start)
-            dead = sig is not None and self._predict(sig) >= _DEAD_THRESHOLD
+            sig = sig_of(pw.start)
+            dead = sig is not None and predict(sig) >= _DEAD_THRESHOLD
             # Dead-predicted first; ties broken by LRU.
-            return (0 if dead else 1, self._last_use.get(pw.start, -1))
+            return (0 if dead else 1, last_use_of(pw.start, -1))
 
         return sorted(resident, key=rank)

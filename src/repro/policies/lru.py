@@ -38,4 +38,5 @@ class LRUPolicy(ReplacementPolicy):
 
     def victim_order(self, now: int, set_index: int, incoming: StoredPW,
                      resident: Sequence[StoredPW]) -> list[StoredPW]:
-        return sorted(resident, key=lambda pw: self._last_use.get(pw.start, -1))
+        last_use_of = self._last_use.get
+        return sorted(resident, key=lambda pw: last_use_of(pw.start, -1))

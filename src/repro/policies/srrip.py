@@ -55,17 +55,27 @@ class RRPVTable:
         """
         if not resident:
             return []
-        current_max = max(self.get(pw.start) for pw in resident)
+        rrpv = self._rrpv
+        starts = [pw.start for pw in resident]
+        values = [rrpv.get(start, RRPV_MAX) for start in starts]
+        current_max = max(values)
         if current_max < RRPV_MAX:
             delta = RRPV_MAX - current_max
-            for pw in resident:
-                self.set(pw.start, self.get(pw.start) + delta)
+            values = [value + delta for value in values]
+            for start, value in zip(starts, values):
+                rrpv[start] = value
+        # Decorate-sort over indices: same stable distant-first order,
+        # without re-querying the table per comparison key.
+        neg = [-value for value in values]
         if last_use is None:
-            return sorted(resident, key=lambda pw: -self.get(pw.start))
-        return sorted(
-            resident,
-            key=lambda pw: (-self.get(pw.start), last_use.get(pw.start, -1)),
-        )
+            order = sorted(range(len(resident)), key=neg.__getitem__)
+        else:
+            last_use_of = last_use.get
+            order = sorted(
+                range(len(resident)),
+                key=lambda i: (neg[i], last_use_of(starts[i], -1)),
+            )
+        return [resident[i] for i in order]
 
 
 class SRRIPPolicy(ReplacementPolicy):
@@ -75,25 +85,29 @@ class SRRIPPolicy(ReplacementPolicy):
 
     def reset(self) -> None:
         self.rrpv = RRPVTable()
+        # Direct alias to the RRPV dict: the per-event hooks below fire
+        # on every hit/insert/evict, so they update it without the
+        # table's method-call indirection.
+        self._rrpv_map = self.rrpv._rrpv
         self._last_use: dict[int, int] = {}
 
     def on_hit(self, now: int, set_index: int, stored: StoredPW,
                lookup: PWLookup) -> None:
-        self.rrpv.on_hit(stored.start)
+        self._rrpv_map[stored.start] = RRPV_HIT
         self._last_use[stored.start] = now
 
     def on_partial_hit(self, now: int, set_index: int, stored: StoredPW,
                        lookup: PWLookup) -> None:
-        self.rrpv.on_hit(stored.start)
+        self._rrpv_map[stored.start] = RRPV_HIT
         self._last_use[stored.start] = now
 
     def on_insert(self, now: int, set_index: int, stored: StoredPW) -> None:
-        self.rrpv.on_insert(stored.start)
+        self._rrpv_map[stored.start] = RRPV_INSERT
         self._last_use[stored.start] = now
 
     def on_evict(self, now: int, set_index: int, stored: StoredPW,
                  reason: EvictionReason) -> None:
-        self.rrpv.on_evict(stored.start)
+        self._rrpv_map.pop(stored.start, None)
         self._last_use.pop(stored.start, None)
 
     def victim_order(self, now: int, set_index: int, incoming: StoredPW,

@@ -65,35 +65,42 @@ def jenks_breaks(
     wx = np.concatenate([[0.0], np.cumsum(weights * points)])
     wxx = np.concatenate([[0.0], np.cumsum(weights * points * points)])
 
-    def sse(i: int, j: int) -> float:
-        weight = w[j] - w[i]
-        if weight <= 0:
-            return 0.0
-        mean = (wx[j] - wx[i]) / weight
-        return (wxx[j] - wxx[i]) - weight * mean * mean
-
     # DP over (classes, points): cost[c][j] = best SSE for first j points
-    # in c classes; split[c][j] = start of the last class.
+    # in c classes; split[c][j] = start of the last class.  The split
+    # search over i is vectorized: every candidate is the same float64
+    # expression the scalar loop evaluated, and argmin returns the first
+    # minimum exactly as the strict `<` scan did, so break positions are
+    # unchanged.  (Quantized weights are >= 1, so segment weights are
+    # always positive and the divisions are safe.)
     infinity = float("inf")
-    cost = [[infinity] * (n + 1) for _ in range(k + 1)]
-    split = [[0] * (n + 1) for _ in range(k + 1)]
-    cost[0][0] = 0.0
-    for c in range(1, k + 1):
-        for j in range(c, n + 1):
-            best, best_i = infinity, c - 1
-            for i in range(c - 1, j):
-                candidate = cost[c - 1][i] + sse(i, j)
-                if candidate < best:
-                    best, best_i = candidate, i
-            cost[c][j] = best
-            split[c][j] = best_i
+    cost = np.full((k + 1, n + 1), infinity)
+    split = np.zeros((k + 1, n + 1), dtype=np.intp)
+    cost[0, 0] = 0.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        for c in range(1, k + 1):
+            prev = cost[c - 1]
+            lo = c - 1
+            # Candidate matrix over (row: last-class end j, col: split i).
+            i = np.arange(lo, n)
+            j = np.arange(c, n + 1)[:, None]
+            weight = w[j] - w[i]
+            mean = (wx[j] - wx[i]) / weight
+            candidate = prev[i] + ((wxx[j] - wxx[i]) - weight * mean * mean)
+            # Entries with i >= j are not real splits; the garbage
+            # computed for them (weight <= 0) is masked to +inf so the
+            # row-wise first-minimum is taken over valid splits only.
+            candidate = np.where(i < j, candidate, infinity)
+            best = candidate.argmin(axis=1)
+            rows = np.arange(candidate.shape[0])
+            cost[c, c:] = candidate[rows, best]
+            split[c, c:] = best + lo
 
     # Recover break values (upper bound of each class).
     breaks: list[float] = []
     j = n
     for c in range(k, 0, -1):
         breaks.append(float(points[j - 1]))
-        j = split[c][j]
+        j = int(split[c, j])
     breaks.reverse()
     while len(breaks) < n_classes:
         breaks.append(breaks[-1])

@@ -16,6 +16,7 @@ overlapping PW in O(overlap).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heapify, heappop, heappush
 from typing import Callable, Iterator, NamedTuple
 
 from ..config import UopCacheConfig
@@ -42,13 +43,19 @@ class InsertResult(NamedTuple):
     evicted_entries: int
 
 
+#: Shared no-insertion outcome (bypass / oversize / keep-larger).
+NOT_INSERTED = InsertResult(False, 0, 0)
+
+
 @dataclass(slots=True)
 class CacheSet:
     """One cache set: resident PWs keyed by start address.
 
     ``free_slots`` tracks physical way indices so policies that reason
     about ways (FURBYS's miss-pitfall detector) see hardware-accurate
-    victim way ids.
+    victim way ids.  It is maintained as a min-heap: insertion pops the
+    lowest-numbered free ways (the same assignment order the previous
+    sort-per-insert implementation produced) without re-sorting.
     """
 
     pws: dict[int, StoredPW] = field(default_factory=dict)
@@ -89,8 +96,12 @@ class UopCache:
         self.policy = policy
         self.line_bytes = line_bytes
         self._set_index = set_index or default_set_index
+        #: start address -> set index memo; index functions are pure,
+        #: so each distinct start is hashed exactly once per cache.
+        self._set_index_memo: dict[int, int] = {}
+        # An ascending range is already a valid min-heap.
         self.sets = [
-            CacheSet(free_slots=list(range(config.ways - 1, -1, -1)))
+            CacheSet(free_slots=list(range(config.ways)))
             for _ in range(config.sets)
         ]
         self._line_map: dict[int, set[int]] = {}
@@ -99,6 +110,13 @@ class UopCache:
         self.evicted_entries = 0
         self.inclusive_invalidations = 0
         self.upgrades = 0
+        self.flushes = 0
+        # should_bypass is consulted on every insertion attempt; when
+        # the policy inherits the never-bypass default, the hot path can
+        # skip the call (and the candidate-list build it would need).
+        self._policy_may_bypass = (
+            type(policy).should_bypass is not ReplacementPolicy.should_bypass
+        )
         policy.attach(self)
 
     # --- geometry ------------------------------------------------------------
@@ -112,7 +130,11 @@ class UopCache:
         return self.config.ways
 
     def set_index(self, start: int) -> int:
-        return self._set_index(start, self.config.sets)
+        memo = self._set_index_memo
+        index = memo.get(start)
+        if index is None:
+            index = memo[start] = self._set_index(start, self.config.sets)
+        return index
 
     def resident_entries(self) -> int:
         """Total entries currently occupied (for occupancy invariants)."""
@@ -138,33 +160,56 @@ class UopCache:
         return range(first, last + 1)
 
     def _map_lines(self, stored: StoredPW) -> None:
-        for line in self._lines_of(stored):
-            self._line_map.setdefault(line, set()).add(stored.start)
+        # The line span is cached on the PW so the matching unmap (and
+        # any re-map) skips the divisions.
+        stored.lines = lines = self._lines_of(stored)
+        line_map = self._line_map
+        start = stored.start
+        for line in lines:
+            starts = line_map.get(line)
+            if starts is None:
+                line_map[line] = {start}
+            else:
+                starts.add(start)
 
     def _unmap_lines(self, stored: StoredPW) -> None:
-        for line in self._lines_of(stored):
-            starts = self._line_map.get(line)
+        line_map = self._line_map
+        start = stored.start
+        for line in stored.lines:
+            starts = line_map.get(line)
             if starts is not None:
-                starts.discard(stored.start)
+                starts.discard(start)
                 if not starts:
-                    del self._line_map[line]
+                    del line_map[line]
 
     # --- mutation ---------------------------------------------------------------
 
-    def _remove(self, now: int, stored: StoredPW, reason: EvictionReason) -> None:
-        cset = self.sets[self.set_index(stored.start)]
+    def _remove(
+        self,
+        now: int,
+        stored: StoredPW,
+        reason: EvictionReason,
+        set_index: int | None = None,
+    ) -> None:
+        if set_index is None:
+            set_index = self.set_index(stored.start)
+        cset = self.sets[set_index]
         del cset.pws[stored.start]
         cset.used_ways -= stored.size
-        cset.free_slots.extend(stored.slots)
+        free_slots = cset.free_slots
+        for slot in stored.slots:
+            heappush(free_slots, slot)
         self._unmap_lines(stored)
         if reason is EvictionReason.REPLACEMENT:
             self.eviction_count += 1
             self.evicted_entries += stored.size
         elif reason is EvictionReason.INCLUSIVE:
             self.inclusive_invalidations += 1
+        elif reason is EvictionReason.FLUSH:
+            self.flushes += 1
         else:
             self.upgrades += 1
-        self.policy.on_evict(now, self.set_index(stored.start), stored, reason)
+        self.policy.on_evict(now, set_index, stored, reason)
 
     def invalidate_line(self, now: int, line_addr: int) -> int:
         """Invalidate every PW overlapping an evicted icache line.
@@ -178,15 +223,19 @@ class UopCache:
             return 0
         count = 0
         for start in list(starts):
-            cset = self.sets[self.set_index(start)]
-            stored = cset.pws.get(start)
+            set_index = self.set_index(start)
+            stored = self.sets[set_index].pws.get(start)
             if stored is not None:
-                self._remove(now, stored, EvictionReason.INCLUSIVE)
+                self._remove(now, stored, EvictionReason.INCLUSIVE, set_index)
                 count += 1
         return count
 
     def try_insert(
-        self, now: int, lookup: PWLookup, weight: int | None = None
+        self,
+        now: int,
+        lookup: PWLookup,
+        weight: int | None = None,
+        set_index: int = -1,
     ) -> InsertResult:
         """Insert the PW described by ``lookup``, consulting the policy.
 
@@ -196,32 +245,47 @@ class UopCache:
         (acquiring extra ways through the policy if needed).
 
         ``weight`` is the FURBYS hint group carried by the accumulator
-        (None for unhinted windows).  Returns an :class:`InsertResult`;
-        ``inserted`` is False when the policy bypassed or the PW cannot
-        fit the set.
+        (None for unhinted windows).  ``set_index`` may be passed by
+        callers that already know it (the pipeline hot loop precomputes
+        it per lookup); negative means "compute here".  Returns an
+        :class:`InsertResult`; ``inserted`` is False when the policy
+        bypassed or the PW cannot fit the set.
         """
-        set_index = self.set_index(lookup.start)
+        config = self.config
+        start = lookup.start
+        if set_index < 0:
+            set_index = self.set_index(start)
         cset = self.sets[set_index]
-        incoming = StoredPW.from_lookup(lookup, self.config.uops_per_entry)
-        incoming.weight = weight
-        if incoming.size > self.config.ways:
+        uops = lookup.uops
+        size = -(-uops // config.uops_per_entry)
+        ways = config.ways
+        if size > ways:
             # Oversize PW: can never be cached; served by the legacy path.
-            return InsertResult(False, 0, 0)
+            return NOT_INSERTED
 
-        existing = cset.pws.get(lookup.start)
+        existing = cset.pws.get(start)
         if existing is not None:
-            if self.config.keep_larger and existing.uops >= incoming.uops:
+            if config.keep_larger and existing.uops >= uops:
                 # Keep-larger: the resident window already covers this one.
-                return InsertResult(False, 0, 0)
-            extra_needed = incoming.size - existing.size
+                return NOT_INSERTED
+            extra_needed = size - existing.size
         else:
-            extra_needed = incoming.size
+            extra_needed = size
 
-        free_ways = self.config.ways - cset.used_ways
-        need = extra_needed - free_ways
-        candidates = [pw for pw in cset.pws.values() if pw is not existing]
-        if self.policy.should_bypass(now, set_index, incoming, candidates, need):
-            return InsertResult(False, 0, 0)
+        incoming = StoredPW(
+            start=start, uops=uops, insts=lookup.insts,
+            bytes_len=lookup.bytes_len, size=size, weight=weight,
+        )
+        need = extra_needed - (ways - cset.used_ways)
+        if need > 0 or self._policy_may_bypass:
+            if existing is None:
+                candidates = list(cset.pws.values())
+            else:
+                candidates = [pw for pw in cset.pws.values() if pw is not existing]
+            if self._policy_may_bypass and self.policy.should_bypass(
+                now, set_index, incoming, candidates, need
+            ):
+                return NOT_INSERTED
         evicted_pws = 0
         evicted_entries = 0
         if need > 0:
@@ -229,13 +293,13 @@ class UopCache:
                 now, set_index, incoming, candidates, need
             )
             if isinstance(decision, Bypass):
-                return InsertResult(False, 0, 0)
+                return NOT_INSERTED
             assert isinstance(decision, Victims)
             for victim in decision.pws:
-                self._remove(now, victim, EvictionReason.REPLACEMENT)
+                self._remove(now, victim, EvictionReason.REPLACEMENT, set_index)
                 evicted_pws += 1
                 evicted_entries += victim.size
-            if self.config.ways - cset.used_ways < extra_needed:
+            if ways - cset.used_ways < extra_needed:
                 raise ConfigurationError(
                     f"policy {self.policy.name} freed too few ways in set {set_index}"
                 )
@@ -243,22 +307,28 @@ class UopCache:
             # Upgrade in place: same tag, more entries (Section II-D).
             if incoming.weight is None:
                 incoming.weight = existing.weight
-            self._remove(now, existing, EvictionReason.UPGRADE)
-        cset.free_slots.sort(reverse=True)
-        incoming.slots = tuple(
-            cset.free_slots.pop() for _ in range(incoming.size)
-        )
-        cset.pws[lookup.start] = incoming
-        cset.used_ways += incoming.size
+            self._remove(now, existing, EvictionReason.UPGRADE, set_index)
+        free_slots = cset.free_slots
+        if size == 1:
+            incoming.slots = (heappop(free_slots),)
+        else:
+            incoming.slots = tuple(heappop(free_slots) for _ in range(size))
+        cset.pws[start] = incoming
+        cset.used_ways += size
         self._map_lines(incoming)
         self.policy.on_insert(now, set_index, incoming)
         return InsertResult(True, evicted_pws, evicted_entries)
 
     def flush(self, now: int = 0) -> None:
-        """Empty the cache (used between warmup and measurement)."""
-        for cset in self.sets:
+        """Empty the cache (used between warmup and measurement).
+
+        Flushed PWs are accounted under :attr:`flushes` (reason
+        ``FLUSH``), *not* as inclusive invalidations — a warmup flush
+        says nothing about icache inclusivity.
+        """
+        for set_index, cset in enumerate(self.sets):
             for stored in list(cset.pws.values()):
-                self._remove(now, stored, EvictionReason.INCLUSIVE)
+                self._remove(now, stored, EvictionReason.FLUSH, set_index)
 
     # --- introspection -------------------------------------------------------------
 

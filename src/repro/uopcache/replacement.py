@@ -33,6 +33,9 @@ class EvictionReason(Enum):
     INCLUSIVE = "inclusive"
     #: A same-start, larger PW replaced this one (keep-larger rule).
     UPGRADE = "upgrade"
+    #: Bulk :meth:`~repro.uopcache.cache.UopCache.flush` (e.g. between
+    #: warmup and measurement) — not an inclusivity event.
+    FLUSH = "flush"
 
 
 class Bypass:
@@ -141,16 +144,16 @@ class ReplacementPolicy(ABC):
         (the cache handles the keep-larger bookkeeping; it has already
         consulted :meth:`should_bypass` before calling this).
         """
+        if need_ways <= 0:
+            return Victims([])
         ranked = self.victim_order(now, set_index, incoming, resident)
         victims: list[StoredPW] = []
         freed = 0
         for candidate in ranked:
-            if freed >= need_ways:
-                break
             victims.append(candidate)
             freed += candidate.size
-        if freed < need_ways:
-            # The set genuinely cannot host the PW (should not happen for
-            # PWs no larger than the associativity); fall back to bypass.
-            return BYPASS
-        return Victims(victims)
+            if freed >= need_ways:
+                return Victims(victims)
+        # The set genuinely cannot host the PW (should not happen for
+        # PWs no larger than the associativity); fall back to bypass.
+        return BYPASS

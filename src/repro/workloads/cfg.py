@@ -14,7 +14,9 @@ micro-op cache by byte range.
 from __future__ import annotations
 
 import random
+from bisect import bisect as _bisect
 from dataclasses import dataclass, field
+from itertools import accumulate
 
 from ..errors import ConfigurationError
 
@@ -26,6 +28,17 @@ _INST_SIZE_WEIGHTS = (4, 12, 22, 24, 16, 12, 6, 4)
 #: Micro-ops per instruction: most decode to one, some crack into 2-4.
 _UOP_COUNTS = (1, 2, 3, 4)
 _UOP_WEIGHTS = (78, 16, 4, 2)
+
+# Precomputed cumulative weights so the per-instruction sampling below
+# can inline random.choices(k=1) — same bisect over the same cumulative
+# table with the same single rng.random() draw, so the generated code
+# image is unchanged.
+_INST_CUM = list(accumulate(_INST_SIZE_WEIGHTS))
+_INST_TOTAL = _INST_CUM[-1] + 0.0
+_INST_HI = len(_INST_CUM) - 1
+_UOP_CUM = list(accumulate(_UOP_WEIGHTS))
+_UOP_TOTAL = _UOP_CUM[-1] + 0.0
+_UOP_HI = len(_UOP_CUM) - 1
 
 
 @dataclass(slots=True)
@@ -129,9 +142,14 @@ def _build_block(
     uops: list[int] = []
     offset = 0
     total_uops = 0
+    rng_random = rng.random
     for _ in range(insts):
-        offset += rng.choices(_INST_SIZES, _INST_SIZE_WEIGHTS)[0]
-        total_uops += rng.choices(_UOP_COUNTS, _UOP_WEIGHTS)[0]
+        offset += _INST_SIZES[
+            _bisect(_INST_CUM, rng_random() * _INST_TOTAL, 0, _INST_HI)
+        ]
+        total_uops += _UOP_COUNTS[
+            _bisect(_UOP_CUM, rng_random() * _UOP_TOTAL, 0, _UOP_HI)
+        ]
         ends.append(offset)
         uops.append(total_uops)
     return BasicBlock(

@@ -104,6 +104,16 @@ class TraceGenerator:
         self._mispredict_mult = self._calibrate_mispredictions(
             target_mispredict_mpki
         )
+        # The icache-line segmentation of a block is static (addresses
+        # never change), so it is computed once per block here instead of
+        # per execution in the walk; likewise the effective mispredict
+        # probability (bias x calibration multiplier, clamped).
+        self._block_segments: list[list[tuple[tuple[int, int, int, int, int], ...]]] = [
+            [self._segment_block(block) for block in function.blocks]
+            for function in cfg.functions
+        ]
+        self._block_mis_rate: list[list[float]] = []
+        self._refresh_mis_rates()
         # Per-branch Bresenham accumulators: outcomes follow the branch's
         # bias as a deterministic periodic pattern, so both directions of
         # every branch surface early (matching steady-state code, where
@@ -211,37 +221,77 @@ class TraceGenerator:
         if len(self._lookups) >= self._limit:
             raise _TraceComplete
 
-    def _consume_block(self, block: BasicBlock) -> None:
-        """Append a block's instructions, splitting at line boundaries."""
-        pending = self._pending
+    def _segment_block(
+        self, block: BasicBlock
+    ) -> tuple[tuple[int, int, int, int, int], ...]:
+        """Static line-boundary segmentation of one block.
+
+        Returns ``(abs_start, uops, insts, abs_end, line)`` runs of
+        consecutive instructions whose start addresses share an icache
+        line — exactly the granularity at which the walk splits PWs.
+        """
         line_bytes = self._line_bytes
         addr = block.addr
-        prev_end = 0
+        uop_prefix = block.uop_prefix
+        segments: list[tuple[int, int, int, int, int]] = []
+        prev_end = prev_uops = 0
+        seg_start = seg_line = -1
+        seg_end = uops = insts = 0
         for i, inst_end in enumerate(block.inst_ends):
             inst_start = addr + prev_end
             line = inst_start // line_bytes
-            if pending.empty:
-                pending.start = inst_start
+            if seg_line < 0:
+                seg_start, seg_line = inst_start, line
+            elif line != seg_line:
+                segments.append((seg_start, uops, insts, seg_end, seg_line))
+                seg_start, seg_line = inst_start, line
+                uops = insts = 0
+            uops += uop_prefix[i] - prev_uops
+            prev_uops = uop_prefix[i]
+            insts += 1
+            seg_end = addr + inst_end
+            prev_end = inst_end
+        segments.append((seg_start, uops, insts, seg_end, seg_line))
+        return tuple(segments)
+
+    def _consume_block(
+        self, segments: tuple[tuple[int, int, int, int, int], ...]
+    ) -> None:
+        """Append a block's instructions, splitting at line boundaries.
+
+        ``segments`` is the block's precomputed static segmentation; the
+        emit sequence (and every emitted window) is identical to walking
+        the block instruction by instruction.
+        """
+        pending = self._pending
+        for seg_start, uops, insts, seg_end, line in segments:
+            if pending.start < 0:
+                pending.start = seg_start
                 pending.line = line
             elif line != pending.line:
                 # Line-boundary termination: not a branch PW.
                 self._emit(terminated_by_branch=False, mispredicted=False)
-                pending.start = inst_start
+                pending.start = seg_start
                 pending.line = line
-            uops = block.uop_prefix[i] - (block.uop_prefix[i - 1] if i else 0)
             pending.uops += uops
-            pending.insts += 1
-            pending.end = addr + inst_end
-            if i == len(block.inst_ends) - 1:
-                # The block's final instruction is its branch.
-                pending.has_branch = True
-            prev_end = inst_end
+            pending.insts += insts
+            pending.end = seg_end
+        # The block's final instruction (last segment) is its branch.
+        pending.has_branch = True
 
     # --- execution ------------------------------------------------------------
 
-    def _sample_mispredict(self, block: BasicBlock) -> bool:
-        rate = min(0.5, block.mispredict_rate * self._mispredict_mult)
-        return self._rng.random() < rate
+    def _refresh_mis_rates(self) -> None:
+        """Recompute per-block mispredict probabilities.
+
+        Must be re-run whenever ``_mispredict_mult`` changes (the pilot
+        calibration in :meth:`generate` rescales it between walks).
+        """
+        mult = self._mispredict_mult
+        self._block_mis_rate = [
+            [min(0.5, block.mispredict_rate * mult) for block in function.blocks]
+            for function in self._cfg.functions
+        ]
 
     def _periodic_outcome(self, key: int, bias: float) -> bool:
         """Deterministic Bresenham-style outcome with long-run rate ``bias``."""
@@ -255,37 +305,44 @@ class TraceGenerator:
     def _run_function(self, findex: int, depth: int) -> None:
         function = self._cfg.functions[findex]
         blocks = function.blocks
+        n_blocks = len(blocks)
+        segments = self._block_segments[findex]
+        mis_rates = self._block_mis_rate[findex]
+        rng_random = self._rng.random
+        consume = self._consume_block
+        emit = self._emit
+        periodic = self._periodic_outcome
+        max_depth = self.MAX_CALL_DEPTH
         # Geometric iteration count with the function's configured mean.
         p_continue = 1.0 - 1.0 / max(1.0, function.mean_iterations)
         iterating = True
         while iterating:
             i = 0
-            while i < len(blocks):
+            while i < n_blocks:
                 block = blocks[i]
-                self._consume_block(block)
-                mispredicted = self._sample_mispredict(block)
+                consume(segments[i])
+                mispredicted = rng_random() < mis_rates[i]
                 # Call edge: modelled as a taken call terminating the PW,
                 # with return to the next block.
                 if (
                     block.callee >= 0
-                    and depth < self.MAX_CALL_DEPTH
-                    and self._periodic_outcome(block.addr ^ 0x1, block.call_bias)
+                    and depth < max_depth
+                    and periodic(block.addr ^ 0x1, block.call_bias)
                 ):
-                    self._emit(terminated_by_branch=True, mispredicted=mispredicted)
+                    emit(terminated_by_branch=True, mispredicted=mispredicted)
                     self._run_function(block.callee, depth + 1)
                     i += 1
                     continue
-                last_block = i == len(blocks) - 1
-                if last_block:
+                if i == n_blocks - 1:
                     # Loop back edge (taken) or function exit (taken ret).
-                    iterating = self._rng.random() < p_continue
-                    self._emit(terminated_by_branch=True, mispredicted=mispredicted)
+                    iterating = rng_random() < p_continue
+                    emit(terminated_by_branch=True, mispredicted=mispredicted)
                     break
-                if self._periodic_outcome(block.addr, block.taken_bias):
-                    self._emit(terminated_by_branch=True, mispredicted=mispredicted)
+                if periodic(block.addr, block.taken_bias):
+                    emit(terminated_by_branch=True, mispredicted=mispredicted)
                     if (
-                        self._periodic_outcome(block.addr ^ 0x2, block.skip_bias)
-                        and i + 2 < len(blocks)
+                        periodic(block.addr ^ 0x2, block.skip_bias)
+                        and i + 2 < n_blocks
                     ):
                         i += 2  # if/else shape: skip the next block
                     else:
@@ -350,6 +407,7 @@ class TraceGenerator:
                 if measured > 0:
                     factor = self._target_mpki / measured
                     self._mispredict_mult *= min(20.0, max(0.05, factor))
+                    self._refresh_mis_rates()
         self._reset_walk()
         self._walk(n_lookups)
         return Trace(self._lookups, metadata or TraceMetadata())

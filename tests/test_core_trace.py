@@ -32,6 +32,23 @@ class TestDerivedProperties:
         assert trace.total_branches == 2
         assert trace.total_mispredictions == 1
 
+    def test_totals_are_cached_and_length_invalidated(self):
+        trace = _sample_trace()
+        assert trace.total_uops == 15
+        assert "totals" in trace._derived
+        # Appending changes the length, which invalidates the memo.
+        trace.lookups.append(pw(0x2000, uops=4))
+        assert trace.total_uops == 19
+
+    def test_invalidate_derived_after_in_place_mutation(self):
+        trace = _sample_trace()
+        assert trace.total_uops == 15
+        trace.lookups[0] = pw(0x1000, uops=10, mispredicted=True)
+        # Same length: the memo is stale until explicitly invalidated.
+        assert trace.total_uops == 15
+        trace.invalidate_derived()
+        assert trace.total_uops == 19
+
     def test_branch_mpki(self):
         trace = _sample_trace()
         expected = 1000.0 * 2 / trace.total_instructions

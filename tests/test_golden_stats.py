@@ -1,0 +1,118 @@
+"""Bit-identity guards for the optimized pipeline hot loop.
+
+Two layers of protection:
+
+* **Golden fixtures** — ``tests/fixtures/golden_stats.json`` holds full
+  :class:`~repro.core.stats.SimulationStats` dumps for 3 apps x 4
+  policies, generated *before* the hot-path optimizations landed.  The
+  optimized stack must reproduce every field exactly.
+* **Property test** — randomized small traces (re-referenced windows,
+  same-start size variants for partial hits) simulated under stressed
+  configurations (insertion delay, tiny inclusive icache,
+  non-inclusive mode, warmup) through both :meth:`FrontendPipeline.run`
+  and the unoptimized :meth:`FrontendPipeline.run_reference`, compared
+  field-by-field.
+"""
+
+import dataclasses
+import json
+import random
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.config import ICacheConfig, preset
+from repro.core.pw import PWLookup
+from repro.core.trace import Trace
+from repro.frontend.pipeline import FrontendPipeline
+from repro.harness.runner import RunRequest, execute
+from repro.offline.flack import FLACKPolicy
+from repro.policies import make_policy
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "fixtures" / "golden_stats.json").read_text()
+)
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN["runs"]))
+def test_golden_stats_exact(key):
+    """The optimized pipeline reproduces pre-optimization stats exactly."""
+    app, policy = key.split("/")
+    request = RunRequest(app=app, policy=policy, trace_len=GOLDEN["trace_len"])
+    stats = execute(request)
+    assert dataclasses.asdict(stats) == GOLDEN["runs"][key]
+
+
+# --- randomized fast-loop vs reference-loop equivalence ---------------------
+
+
+def _random_trace(seed: int, n: int = 500) -> Trace:
+    """A small trace exercising re-reference, partial hits and overlap."""
+    rng = random.Random(seed)
+    windows = []
+    addr = 0x400000
+    for _ in range(40):
+        insts = rng.randint(1, 12)
+        uops = insts + rng.randint(0, 8)
+        bytes_len = max(1, insts * rng.randint(2, 6))
+        windows.append((addr, uops, insts, bytes_len))
+        # Overlapping starts: some windows begin inside the previous
+        # one, so inclusive invalidation hits multiple PWs per line.
+        addr += rng.choice((bytes_len, bytes_len, bytes_len // 2 + 1, 17))
+    lookups = []
+    for _ in range(n):
+        start, uops, insts, bytes_len = rng.choice(windows)
+        if rng.random() < 0.25:
+            # Same-start shorter/longer variant: partial hits and the
+            # keep-larger upgrade rule.
+            scale = rng.choice((0.5, 0.75, 1.5))
+            uops = max(1, int(uops * scale))
+            insts = max(1, min(insts, uops))
+        lookups.append(PWLookup(
+            start=start, uops=uops, insts=insts, bytes_len=bytes_len,
+            terminated_by_branch=rng.random() < 0.7,
+            contains_branch=rng.random() < 0.85,
+            mispredicted=rng.random() < 0.05,
+        ))
+    return Trace(lookups)
+
+
+def _stress_configs():
+    base = preset("zen3").with_uop_cache(entries=64, ways=4)
+    tiny_icache = replace(
+        base, icache=ICacheConfig(size_bytes=2048, ways=2, line_bytes=64)
+    )
+    return [
+        ("small-cache", base, 0),
+        ("insertion-delay", base.with_uop_cache(insertion_delay=3), 0),
+        ("tiny-inclusive-icache", tiny_icache, 0),
+        ("non-inclusive", base.with_uop_cache(inclusive_with_icache=False), 0),
+        ("warmup", base, 150),
+    ]
+
+
+def _policies_for(trace, config):
+    return [
+        ("lru", lambda: make_policy("lru")),
+        ("srrip", lambda: make_policy("srrip")),
+        ("ghrp", lambda: make_policy("ghrp")),
+        ("flack", lambda: FLACKPolicy(trace, config.uop_cache)),
+    ]
+
+
+@pytest.mark.parametrize(
+    "label,config,warmup", _stress_configs(), ids=lambda v: v if isinstance(v, str) else ""
+)
+def test_fast_loop_matches_reference_on_random_traces(label, config, warmup):
+    for seed in (1, 2):
+        trace = _random_trace(seed)
+        for name, factory in _policies_for(trace, config):
+            fast = FrontendPipeline(config, factory()).run(trace, warmup=warmup)
+            reference = FrontendPipeline(config, factory()).run_reference(
+                trace, warmup=warmup
+            )
+            assert dataclasses.asdict(fast) == dataclasses.asdict(reference), (
+                f"fast loop diverged from reference: config={label} "
+                f"policy={name} seed={seed}"
+            )

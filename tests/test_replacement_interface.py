@@ -80,7 +80,7 @@ class TestWiring:
 
     def test_eviction_reasons(self):
         assert {r.value for r in EvictionReason} == {
-            "replacement", "inclusive", "upgrade"
+            "replacement", "inclusive", "upgrade", "flush"
         }
 
 

@@ -168,6 +168,16 @@ class TestInclusivity:
         assert cache.resident_pws() == 0
         assert cache.resident_entries() == 0
 
+    def test_flush_counts_as_flushes_not_invalidations(self):
+        cache = make_cache()
+        cache.try_insert(0, pw(0x1000))
+        cache.try_insert(1, pw(0x2000))
+        cache.flush()
+        assert cache.flushes == 2
+        assert cache.inclusive_invalidations == 0
+        assert cache.eviction_count == 0
+        assert cache.upgrades == 0
+
 
 class TestSetIndex:
     def test_default_set_index_folds_high_bits(self):
