@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Measure cold policy construction across the offline/profiled batch.
+
+The metric is the wall-clock to build every policy of a representative
+offline batch — Belady, FOO, the four FLACK ablation rungs, full FLACK,
+FURBYS and Thermometer — per app, with cold caches, traces pre-built
+(trace generation is measured by ``bench_hotpath.py``).  This is the
+work the shared offline-artifact store (future index, interval
+decomposition, admission plan, profiling replay) collapses: ablation
+variants share one trace's artifacts, FURBYS and Thermometer share one
+profiling replay.  Each arm reports best-of-``--repeats``.
+
+With ``--before-src`` pointing at a pre-optimization checkout's
+``src/`` (e.g. a git worktree), the same batch is timed there and both
+arms' full SimulationStats are compared field-by-field, making the
+bit-identity claim part of the artifact.
+
+Usage::
+
+    git worktree add /tmp/before-wt <pre-optimization-commit>
+    PYTHONPATH=src python scripts/bench_policy_build.py \
+        --before-src /tmp/before-wt/src --output BENCH_policy_build.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Runs inside a fresh interpreter per arm so the two arms cannot share
+#: imported modules or warmed caches.  Prints one JSON object.
+_INNER = r"""
+import dataclasses, json, os, sys, time
+os.environ["REPRO_CACHE"] = "0"
+from repro.harness.runner import (
+    RunRequest, _build_policy_and_hints, clear_memory_cache, execute,
+)
+from repro.workloads.registry import clear_trace_cache, get_trace
+
+apps, policies, trace_len, repeats = (
+    tuple(sys.argv[1].split(",")), tuple(sys.argv[2].split(",")),
+    int(sys.argv[3]), int(sys.argv[4]),
+)
+requests = [
+    RunRequest(app=app, policy=policy, trace_len=trace_len)
+    for app in apps for policy in policies
+]
+readings = []
+for _ in range(repeats):
+    clear_memory_cache()
+    clear_trace_cache()
+    total = 0.0
+    for request in requests:
+        config = request.build_config()
+        # Outside the timed region: the trace (shared across the app's
+        # policies, as in the experiment harness) is not the metric.
+        trace = get_trace(request.app, request.input_name, trace_len)
+        started = time.perf_counter()
+        _build_policy_and_hints(request, config, trace)
+        total += time.perf_counter() - started
+    readings.append(round(total, 3))
+best = min(readings)
+# Behaviour check: full simulations through the regular runner path.
+clear_memory_cache()
+clear_trace_cache()
+stats = [dataclasses.asdict(execute(request)) for request in requests]
+total_lookups = trace_len * len(requests)
+json.dump({
+    "runs": len(requests),
+    "trace_len": trace_len,
+    "total_lookups": total_lookups,
+    "readings_s": readings,
+    "build_s": best,
+    "build_lookups_per_s": round(total_lookups / best, 1),
+    "stats": stats,
+}, sys.stdout)
+"""
+
+DEFAULT_POLICIES = (
+    "belady,foo-ohr,flack[foo],flack[A],flack[A+VC],flack[A+VC+SB],"
+    "flack,furbys,thermometer"
+)
+
+
+def _time_arm(src: Path, apps: str, policies: str,
+              trace_len: int, repeats: int) -> dict:
+    env = dict(os.environ, PYTHONPATH=str(src))
+    output = subprocess.run(
+        [sys.executable, "-c", _INNER, apps, policies,
+         str(trace_len), str(repeats)],
+        env=env, check=True, capture_output=True, text=True,
+    ).stdout
+    return json.loads(output)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--apps", default="kafka,clang,postgres")
+    parser.add_argument("--policies", default=DEFAULT_POLICIES)
+    parser.add_argument("--trace-len", type=int, default=20_000)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="batch repetitions per arm (best-of)")
+    parser.add_argument("--before-src", type=Path, default=None,
+                        help="src/ of a pre-optimization checkout; when "
+                             "given, times it and checks bit-identity")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="also write the JSON to this file")
+    parser.add_argument("--skip-stages", action="store_true",
+                        help="omit the per-stage breakdown detail")
+    args = parser.parse_args(argv)
+
+    after = _time_arm(REPO / "src", args.apps, args.policies,
+                      args.trace_len, args.repeats)
+    outcome = {
+        "benchmark": "cold policy construction, offline/profiled batch "
+                     f"({after['runs']} policies x {args.trace_len}-lookup "
+                     "traces; traces pre-built, caches cold per repeat)",
+        "apps": args.apps,
+        "policies": args.policies,
+        "after": {k: after[k] for k in
+                  ("readings_s", "build_s", "build_lookups_per_s")},
+    }
+
+    if args.before_src is not None:
+        before = _time_arm(args.before_src, args.apps, args.policies,
+                           args.trace_len, args.repeats)
+        outcome["before"] = {k: before[k] for k in
+                             ("readings_s", "build_s", "build_lookups_per_s")}
+        outcome["speedup"] = round(before["build_s"] / after["build_s"], 3)
+        outcome["identical_results"] = before["stats"] == after["stats"]
+
+    if not args.skip_stages:
+        sys.path.insert(0, str(REPO / "src"))
+        from repro.harness.microbench import policy_build_batch  # noqa: E402
+
+        os.environ["REPRO_CACHE"] = "0"
+        detail = policy_build_batch(
+            tuple(args.apps.split(",")), tuple(args.policies.split(",")),
+            trace_len=args.trace_len,
+        )
+        outcome["stage_detail"] = detail["aggregate"]
+
+    text = json.dumps(outcome, indent=2)
+    print(text)
+    if args.output is not None:
+        args.output.write_text(text + "\n")
+    return 0 if outcome.get("identical_results", True) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@ Examples::
     repro bench                # time a batch serial vs parallel
     repro bench --micro        # per-stage single-run microbenchmark
     repro bench --micro --baseline benchmarks/microbench_baseline.json
+    repro bench --stage policy_build   # policy construction only
     repro bench --profile      # cProfile one cold run
     repro all                  # everything (long)
 """
@@ -44,6 +45,23 @@ def _bench(args: argparse.Namespace) -> int:
             apps[0], policies[0],
             trace_len=args.trace_len or 20_000,
         ))
+        return 0
+
+    if args.stage:
+        if args.stage != "policy_build":
+            print(f"unknown --stage {args.stage!r}; only 'policy_build' is "
+                  "available", file=sys.stderr)
+            return 2
+        from .harness.microbench import policy_build_batch
+
+        outcome = policy_build_batch(
+            apps, policies, trace_len=args.trace_len or 20_000
+        )
+        text = json.dumps(outcome, indent=2)
+        print(text)
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(text + "\n")
         return 0
 
     if args.micro:
@@ -138,6 +156,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--profile", action="store_true",
         help="bench only: cProfile one cold run (first app x first policy)",
+    )
+    parser.add_argument(
+        "--stage",
+        help="bench only: time a single stage instead of full runs "
+             "('policy_build': policy construction with its per-stage "
+             "breakdown, no simulation loops)",
     )
     parser.add_argument(
         "--policies",

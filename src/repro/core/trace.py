@@ -23,7 +23,7 @@ from __future__ import annotations
 import io
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import Callable, Hashable, Iterable, Iterator, Sequence
 
 from ..errors import TraceError
 from .pw import PWLookup
@@ -100,6 +100,23 @@ class Trace:
     def invalidate_derived(self) -> None:
         """Drop memoized aggregates after in-place lookup mutation."""
         self._derived.clear()
+
+    def memo(self, key: Hashable, build: Callable[[], object]):
+        """Memoize ``build()`` on this trace, invalidated by appends.
+
+        The same length-guard convention as :meth:`prepared`: entries
+        are keyed by ``(len(lookups), value)`` so growing the trace
+        drops them automatically.  Offline policies use this to share
+        per-trace artifacts (future indices, interval decompositions)
+        across policy instances.
+        """
+        n = len(self.lookups)
+        cached = self._derived.get(key)
+        if cached is not None and cached[0] == n:
+            return cached[1]
+        value = build()
+        self._derived[key] = (n, value)
+        return value
 
     def _totals(self) -> tuple[int, int, int, int]:
         n = len(self.lookups)

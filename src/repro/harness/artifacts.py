@@ -1,0 +1,209 @@
+"""Shared offline-artifact store for profile-guided policies.
+
+FURBYS and Thermometer both start from the same expensive artifact: a
+full trace replay under an offline policy with per-PW hit recording
+(:func:`repro.profiling.hitrate.collect_hit_stats`).  A batch that
+evaluates both — every headline figure does — used to pay for that
+replay once per policy; this module memoizes it per profiling key so
+the second consumer (and every FURBYS hint-width/scope variant, which
+only changes the cheap clustering step) reuses the recorded stats.
+
+Two layers:
+
+* an in-process cache (cleared by :func:`clear_artifact_caches`, which
+  :func:`repro.harness.runner.clear_memory_cache` calls);
+* a disk cache next to the simulation-result cache (``.repro-cache/``,
+  disabled by ``REPRO_CACHE=0``), written atomically via a per-process
+  tmp file + :func:`os.replace` so parallel workers sharing the
+  directory can never observe a truncated entry.
+
+Keys hash everything that shapes the artifact: the training trace
+identity ``(app, input, trace_len)``, the offline decision ``source``,
+and the cache geometry (config preset plus every uop-cache override);
+profiles additionally include the hint parameters ``(n_bits, scope)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from ..config import SimulationConfig
+from ..profiling.pipeline import FurbysProfile, profile_application
+from ..workloads.registry import get_trace
+
+#: start -> (uops hit, uops requested) over the whole profiling replay.
+HitStats = dict[int, tuple[int, int]]
+
+_hitstats_cache: dict[str, HitStats] = {}
+_profile_cache: dict[str, FurbysProfile] = {}
+
+
+def _disk_cache_dir() -> Path | None:
+    """Root of the on-disk cache; ``None`` when disabled or unwritable."""
+    if os.environ.get("REPRO_CACHE", "1") == "0":
+        return None
+    root = Path(os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
+    try:
+        root.mkdir(parents=True, exist_ok=True)
+    except OSError:
+        return None
+    return root
+
+
+def clear_artifact_caches() -> None:
+    """Drop in-process profiling artifacts (tests use this)."""
+    _hitstats_cache.clear()
+    _profile_cache.clear()
+
+
+def _digest(payload: object) -> str:
+    text = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(text.encode()).hexdigest()[:24]
+
+
+def _load_json(path: Path) -> dict | None:
+    """Read a disk entry; corrupt/truncated files are discarded."""
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        path.unlink(missing_ok=True)
+        return None
+
+
+def _store_json(path: Path, payload: dict) -> None:
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, path)
+    except OSError:
+        tmp.unlink(missing_ok=True)
+
+
+def profiling_geometry(
+    config_name: str,
+    *,
+    cache_entries: int | None,
+    cache_ways: int | None,
+    insertion_delay: int | None,
+    inclusive: bool,
+    keep_larger: bool,
+    perfect: tuple[str, ...],
+) -> list:
+    """The geometry part of a profiling key: every knob that can change
+    what the offline profiling replay observes."""
+    return [
+        config_name, cache_entries, cache_ways, insertion_delay,
+        inclusive, keep_larger, sorted(perfect),
+    ]
+
+
+def shared_hit_stats(
+    app: str,
+    input_name: str,
+    trace_len: int,
+    config: SimulationConfig,
+    *,
+    source: str,
+    geometry: list,
+) -> HitStats:
+    """Per-PW hit stats for one training trace, computed at most once.
+
+    Callers must not mutate the returned mapping.
+    """
+    key = _digest(["hitstats", app, input_name, trace_len, source, geometry])
+    cached = _hitstats_cache.get(key)
+    if cached is not None:
+        return cached
+    disk = _disk_cache_dir()
+    path = disk / f"hitstats-{key}.json" if disk is not None else None
+    if path is not None and path.exists():
+        raw = _load_json(path)
+        if raw is not None and "stats" in raw:
+            stats: HitStats = {
+                int(start): (int(pair[0]), int(pair[1]))
+                for start, pair in raw["stats"].items()
+            }
+            _hitstats_cache[key] = stats
+            return stats
+    from ..profiling.hitrate import collect_hit_stats
+
+    trace = get_trace(app, input_name, trace_len)
+    stats = collect_hit_stats(trace, config, source=source)
+    _hitstats_cache[key] = stats
+    if path is not None:
+        _store_json(path, {
+            "app": app, "input": input_name, "trace_len": trace_len,
+            "source": source, "geometry": geometry,
+            "stats": {str(start): list(pair) for start, pair in stats.items()},
+        })
+    return stats
+
+
+def shared_profile(
+    app: str,
+    input_name: str,
+    trace_len: int,
+    config: SimulationConfig,
+    *,
+    source: str,
+    n_bits: int,
+    scope: str,
+    geometry: list,
+) -> FurbysProfile:
+    """A single-input FURBYS profile, sharing the profiling replay.
+
+    The hit-stats artifact is shared across hint widths, weight scopes
+    and with Thermometer; only the clustering step is parameterized.
+    Multi-input merges happen in memory (see the runner), so the disk
+    layer stays a flat per-input store.
+    """
+    key = _digest([
+        "profile", app, input_name, trace_len, source, n_bits, scope,
+        geometry,
+    ])
+    cached = _profile_cache.get(key)
+    if cached is not None:
+        return cached
+    disk = _disk_cache_dir()
+    path = disk / f"profile-{key}.json" if disk is not None else None
+    if path is not None and path.exists():
+        raw = _load_json(path)
+        if raw is not None and "hints" in raw:
+            profile = FurbysProfile(
+                hints={int(s): int(w) for s, w in raw["hints"].items()},
+                hit_rates={
+                    int(s): float(r) for s, r in raw["hit_rates"].items()
+                },
+                source=raw["source"],
+                n_bits=int(raw["n_bits"]),
+                scope=raw["scope"],
+                sample_counts={
+                    int(s): int(c) for s, c in raw["sample_counts"].items()
+                },
+            )
+            _profile_cache[key] = profile
+            return profile
+    stats = shared_hit_stats(
+        app, input_name, trace_len, config, source=source, geometry=geometry
+    )
+    trace = get_trace(app, input_name, trace_len)
+    profile = profile_application(
+        trace, config, source=source, n_bits=n_bits, scope=scope,
+        hit_stats=stats,
+    )
+    _profile_cache[key] = profile
+    if path is not None:
+        _store_json(path, {
+            "app": app, "input": input_name, "trace_len": trace_len,
+            "source": source, "n_bits": n_bits, "scope": scope,
+            "geometry": geometry,
+            "hints": {str(s): w for s, w in profile.hints.items()},
+            "hit_rates": {str(s): r for s, r in profile.hit_rates.items()},
+            "sample_counts": {
+                str(s): c for s, c in profile.sample_counts.items()
+            },
+        })
+    return profile

@@ -37,9 +37,10 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Sequence
 
+from .. import stagetimer
 from ..frontend.pipeline import FrontendPipeline
 from ..uopcache.replacement import ReplacementPolicy
-from ..workloads.registry import build_app_trace, get_profile
+from ..workloads.registry import build_app_trace, get_profile, get_trace
 from .bench import BENCH_APPS, BENCH_POLICIES
 from .runner import RunRequest, _build_policy_and_hints
 
@@ -105,6 +106,10 @@ class MicrobenchResult:
     repeats: int
     trace_gen_s: float
     policy_build_s: float
+    #: stage -> seconds (and ``<stage>_calls`` counts) inside policy
+    #: construction, from :mod:`repro.stagetimer`; empty for online
+    #: policies, which build in constant time.
+    policy_build_stages: dict
     prepare_s: float
     pipeline_s: float
     reference_s: float
@@ -141,11 +146,13 @@ def microbench_run(
     trace = build_app_trace(get_profile(app), request.input_name, trace_len)
     trace_gen_s = perf_counter() - started
 
-    # Stage: policy construction (future index + flow solver for the
-    # offline policies, profiling simulation + Jenks for FURBYS).
-    started = perf_counter()
-    built_policy, hints = _build_policy_and_hints(request, sim_config, trace)
-    policy_build_s = perf_counter() - started
+    # Stage: policy construction (future index + admission planning for
+    # the offline policies, profiling simulation + Jenks for FURBYS),
+    # with the per-stage breakdown captured from the stage timers.
+    with stagetimer.capture() as build_stages:
+        started = perf_counter()
+        built_policy, hints = _build_policy_and_hints(request, sim_config, trace)
+        policy_build_s = perf_counter() - started
 
     # Stage: prepared-trace derivation.  The freshly built trace has an
     # empty memo, so this times the real per-unique-PW pass; later
@@ -198,6 +205,10 @@ def microbench_run(
         repeats=repeats,
         trace_gen_s=trace_gen_s,
         policy_build_s=policy_build_s,
+        policy_build_stages={
+            stage: (round(v, 6) if isinstance(v, float) else v)
+            for stage, v in build_stages.items()
+        },
         prepare_s=prepare_s,
         pipeline_s=pipeline_s,
         reference_s=reference_s,
@@ -235,6 +246,7 @@ def microbench_batch(
     ]
     total_pipeline_s = sum(r.pipeline_s for r in results)
     total_reference_s = sum(r.reference_s for r in results)
+    total_build_s = sum(r.policy_build_s for r in results)
     total_lookups = trace_len * len(results)
     aggregate = {
         "runs": len(results),
@@ -243,14 +255,93 @@ def microbench_batch(
         "total_pipeline_s": round(total_pipeline_s, 4),
         "total_reference_s": round(total_reference_s, 4),
         "trace_gen_s": round(sum(r.trace_gen_s for r in results), 4),
-        "policy_build_s": round(sum(r.policy_build_s for r in results), 4),
+        "policy_build_s": round(total_build_s, 4),
         "prepare_s": round(sum(r.prepare_s for r in results), 4),
         "policy_hooks_s": round(sum(r.policy_hooks_s for r in results), 4),
         "lookups_per_s": round(total_lookups / total_pipeline_s, 1),
+        # Policy-construction throughput, the same normalization as
+        # lookups_per_s so one floor-style baseline guards it too.
+        "policy_build_lookups_per_s": (
+            round(total_lookups / total_build_s, 1) if total_build_s else None
+        ),
         "speedup_vs_reference": round(total_reference_s / total_pipeline_s, 3),
         "identical_results": all(r.identical_to_reference for r in results),
     }
     return {"results": [r.to_json() for r in results], "aggregate": aggregate}
+
+
+def policy_build_run(
+    app: str,
+    policy: str,
+    *,
+    trace_len: int = 20_000,
+    config: str = "zen3",
+) -> dict:
+    """Time policy construction alone, with the stage breakdown.
+
+    Unlike :func:`microbench_run` this pulls the trace from the shared
+    registry cache, so a batch over several policies measures exactly
+    what the experiment harness pays: the first offline policy builds
+    the shared artifacts, later ones reuse them.
+    """
+    request = RunRequest(
+        app=app, policy=policy, trace_len=trace_len, config=config
+    )
+    sim_config = request.build_config()
+    trace = get_trace(app, request.input_name, trace_len)
+    with stagetimer.capture() as stages:
+        started = perf_counter()
+        _build_policy_and_hints(request, sim_config, trace)
+        build_s = perf_counter() - started
+    return {
+        "app": app,
+        "policy": policy,
+        "trace_len": trace_len,
+        "policy_build_s": round(build_s, 4),
+        "stages": {
+            stage: (round(v, 6) if isinstance(v, float) else v)
+            for stage, v in stages.items()
+        },
+    }
+
+
+def policy_build_batch(
+    apps: Sequence[str] = BENCH_APPS,
+    policies: Sequence[str] = BENCH_POLICIES,
+    *,
+    trace_len: int = 20_000,
+    config: str = "zen3",
+) -> dict:
+    """Policy-construction-only bench (``repro bench --stage policy_build``).
+
+    Skips the simulation loops entirely; per-(app, policy) build times
+    plus an aggregate in the same shape :func:`check_baseline` reads.
+    """
+    results = [
+        policy_build_run(app, policy, trace_len=trace_len, config=config)
+        for app in apps
+        for policy in policies
+    ]
+    total_build_s = sum(r["policy_build_s"] for r in results)
+    total_lookups = trace_len * len(results)
+    stage_totals: dict[str, float | int] = {}
+    for r in results:
+        for stage, v in r["stages"].items():
+            stage_totals[stage] = stage_totals.get(stage, 0) + v
+    aggregate = {
+        "runs": len(results),
+        "trace_len": trace_len,
+        "total_lookups": total_lookups,
+        "policy_build_s": round(total_build_s, 4),
+        "policy_build_lookups_per_s": (
+            round(total_lookups / total_build_s, 1) if total_build_s else None
+        ),
+        "stages": {
+            stage: (round(v, 4) if isinstance(v, float) else v)
+            for stage, v in stage_totals.items()
+        },
+    }
+    return {"results": results, "aggregate": aggregate}
 
 
 def profile_run(
@@ -296,18 +387,38 @@ def check_baseline(
     diverged from the reference loop.  The default 30% slack absorbs
     shared-runner noise while still catching a real hot-path
     regression (the optimizations this guards are each >30%).
+
+    When the baseline also carries ``policy_build_lookups_per_s``, the
+    policy-construction throughput is gated by the same rule, so the
+    fast-path machinery this repo builds offline artifacts with cannot
+    silently regress either.
     """
-    floor = baseline["lookups_per_s"] * (1.0 - tolerance)
-    current = aggregate["lookups_per_s"]
     if not aggregate["identical_results"]:
         return False, "microbench: fast loop diverged from the reference loop"
+    floor = baseline["lookups_per_s"] * (1.0 - tolerance)
+    current = aggregate["lookups_per_s"]
     if current < floor:
         return False, (
             f"microbench: {current:.0f} lookups/s is below the regression "
             f"floor {floor:.0f} (baseline {baseline['lookups_per_s']:.0f} "
             f"- {tolerance:.0%})"
         )
-    return True, (
+    message = (
         f"microbench: {current:.0f} lookups/s >= floor {floor:.0f} "
         f"(baseline {baseline['lookups_per_s']:.0f} - {tolerance:.0%})"
     )
+    baseline_build = baseline.get("policy_build_lookups_per_s")
+    current_build = aggregate.get("policy_build_lookups_per_s")
+    if baseline_build and current_build is not None:
+        build_floor = baseline_build * (1.0 - tolerance)
+        if current_build < build_floor:
+            return False, (
+                f"microbench: policy build at {current_build:.0f} lookups/s "
+                f"is below the regression floor {build_floor:.0f} "
+                f"(baseline {baseline_build:.0f} - {tolerance:.0%})"
+            )
+        message += (
+            f"; policy build {current_build:.0f} lookups/s >= floor "
+            f"{build_floor:.0f}"
+        )
+    return True, message

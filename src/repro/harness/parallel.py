@@ -14,6 +14,15 @@ list to :func:`run_many` instead of looping over ``run()``:
 4. **write-back** — worker results are stored into both cache layers in
    the parent, so memoization semantics are unchanged.
 
+Within each worker the shared offline-artifact store
+(:mod:`repro.harness.artifacts`) collapses the per-policy offline work
+further: FURBYS and Thermometer requests for one training trace share a
+single profiling replay, FLACK ablation variants share the trace's
+future index and interval decomposition, and profiling artifacts
+persist to the same ``.repro-cache/`` directory (atomically, so
+concurrent workers may race on a key but never corrupt it), priming
+later batches even across processes.
+
 ``jobs=1`` (or ``REPRO_JOBS=1``) takes a plain serial path, which keeps
 debugging and coverage simple.  Traces, profiles and the simulation
 itself are deterministic, so parallel results are bit-identical to

@@ -15,7 +15,6 @@ import hashlib
 import json
 import os
 from dataclasses import dataclass, field
-from pathlib import Path
 
 from ..config import SimulationConfig, preset
 from ..core.stats import MissBreakdown, SimulationStats
@@ -25,12 +24,20 @@ from ..frontend.pipeline import FrontendPipeline
 from ..offline.belady import BeladyPolicy
 from ..offline.flack import FLACKPolicy
 from ..offline.foo import FOOPolicy
+from ..offline.future import fast_path_enabled
 from ..policies import make_policy, online_policy_names
 from ..policies.furbys import FurbysPolicy
 from ..policies.thermometer import ThermometerPolicy
 from ..profiling import FurbysProfile, profile_application
 from ..profiling.hitrate import three_class_profile
 from ..workloads.registry import DEFAULT_TRACE_LEN, get_trace
+from .artifacts import (
+    _disk_cache_dir,
+    clear_artifact_caches,
+    profiling_geometry,
+    shared_hit_stats,
+    shared_profile,
+)
 
 #: Names accepted by RunRequest.policy, beyond the online registry.
 OFFLINE_POLICIES = (
@@ -133,22 +140,12 @@ _profile_cache: dict[str, FurbysProfile] = {}
 _thermo_cache: dict[str, dict[int, int]] = {}
 
 
-def _disk_cache_dir() -> Path | None:
-    if os.environ.get("REPRO_CACHE", "1") == "0":
-        return None
-    root = Path(os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
-    try:
-        root.mkdir(parents=True, exist_ok=True)
-    except OSError:
-        return None
-    return root
-
-
 def clear_memory_cache() -> None:
     """Drop in-process memoized results (tests use this)."""
     _memory_cache.clear()
     _profile_cache.clear()
     _thermo_cache.clear()
+    clear_artifact_caches()
 
 
 # --- policy construction -----------------------------------------------------
@@ -165,28 +162,54 @@ def _canonical_profile_inputs(request: RunRequest) -> tuple[str, ...]:
     return tuple(sorted(inputs))
 
 
+def _request_geometry(request: RunRequest) -> list:
+    return profiling_geometry(
+        request.config,
+        cache_entries=request.cache_entries,
+        cache_ways=request.cache_ways,
+        insertion_delay=request.insertion_delay,
+        inclusive=request.inclusive,
+        keep_larger=request.keep_larger,
+        perfect=request.perfect,
+    )
+
+
 def _profile_for(request: RunRequest, config: SimulationConfig) -> FurbysProfile:
     inputs = _canonical_profile_inputs(request)
     key = json.dumps(
         [request.app, list(inputs), request.profile_source, request.hint_bits,
-         request.weight_scope, request.config, request.cache_entries,
-         request.cache_ways, request.inclusive, request.resolved_trace_len(),
-         list(request.perfect)],
+         request.weight_scope, _request_geometry(request),
+         request.resolved_trace_len()],
         sort_keys=False,
     )
     cached = _profile_cache.get(key)
     if cached is not None:
         return cached
-    profiles = [
-        profile_application(
-            get_trace(request.app, name, request.resolved_trace_len()),
-            config,
-            source=request.profile_source,
-            n_bits=request.hint_bits,
-            scope=request.weight_scope,
-        )
-        for name in inputs
-    ]
+    if fast_path_enabled():
+        # Per-input profiles come from the shared artifact store (one
+        # profiling replay per training trace, reused by Thermometer
+        # and across hint parameters); merges stay in memory.
+        profiles = [
+            shared_profile(
+                request.app, name, request.resolved_trace_len(), config,
+                source=request.profile_source,
+                n_bits=request.hint_bits,
+                scope=request.weight_scope,
+                geometry=_request_geometry(request),
+            )
+            for name in inputs
+        ]
+    else:
+        profiles = [
+            profile_application(
+                get_trace(request.app, name, request.resolved_trace_len()),
+                config,
+                source=request.profile_source,
+                n_bits=request.hint_bits,
+                scope=request.weight_scope,
+            )
+            for name in inputs
+        ]
     profile = profiles[0] if len(profiles) == 1 else profiles[0].merged_with(
         *profiles[1:]
     )
@@ -227,15 +250,31 @@ def _build_policy_and_hints(
         return policy, profile.hints
     if name == "thermometer":
         inputs = _canonical_profile_inputs(request)
-        key = json.dumps([request.app, list(inputs), request.config,
-                          request.cache_entries, request.cache_ways,
-                          request.resolved_trace_len(), list(request.perfect)])
+        key = json.dumps([request.app, list(inputs), request.profile_source,
+                          _request_geometry(request),
+                          request.resolved_trace_len()])
         classes = _thermo_cache.get(key)
         if classes is None:
+            profile_trace = get_trace(
+                request.app, inputs[0], request.resolved_trace_len()
+            )
+            rates = None
+            if fast_path_enabled():
+                # Reuse FURBYS's profiling replay: same trace, source
+                # and geometry -> same hit stats, different clustering.
+                stats = shared_hit_stats(
+                    request.app, inputs[0], request.resolved_trace_len(),
+                    config,
+                    source=request.profile_source,
+                    geometry=_request_geometry(request),
+                )
+                rates = {
+                    start: (hit / total if total else 0.0)
+                    for start, (hit, total) in stats.items()
+                }
             classes = three_class_profile(
-                get_trace(request.app, inputs[0], request.resolved_trace_len()),
-                config,
-                source=request.profile_source,
+                profile_trace, config,
+                source=request.profile_source, hit_rates=rates,
             )
             _thermo_cache[key] = classes
         return ThermometerPolicy(classes), None

@@ -18,7 +18,8 @@ from .base import IdentityMode, OfflineReplayPolicy, ValueMetric
 from .belady import BeladyPolicy
 from .flack import FLACKPolicy
 from .foo import FOOPolicy
-from .intervals import Interval, extract_intervals
+from .future import ColumnarFutureIndex, FutureIndex, shared_future_index
+from .intervals import Interval, extract_intervals, shared_intervals
 from .plan import AdmissionPlan, greedy_admission
 
 __all__ = [
@@ -28,8 +29,12 @@ __all__ = [
     "BeladyPolicy",
     "FLACKPolicy",
     "FOOPolicy",
+    "ColumnarFutureIndex",
+    "FutureIndex",
+    "shared_future_index",
     "Interval",
     "extract_intervals",
+    "shared_intervals",
     "AdmissionPlan",
     "greedy_admission",
 ]

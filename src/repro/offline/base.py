@@ -24,47 +24,28 @@ narrative:
 
 from __future__ import annotations
 
-import sys
 from bisect import bisect_right
-from typing import Callable, Hashable, Sequence
+from typing import Callable, Sequence
 
 from ..config import UopCacheConfig
 from ..core.pw import PWLookup, StoredPW
 from ..core.trace import Trace
 from ..uopcache.cache import default_set_index
 from ..uopcache.replacement import EvictionReason, ReplacementPolicy
-from .intervals import IdentityMode, ValueMetric, extract_intervals
+from .future import (  # re-exported: historic home of these names
+    NEVER,
+    ColumnarFutureIndex,
+    FutureIndex,
+    fast_path_enabled,
+    shared_future_index,
+)
+from .intervals import IdentityMode, ValueMetric, shared_intervals
 from .plan import AdmissionPlan, greedy_admission
 
-#: Sentinel "never used again".
-NEVER = sys.maxsize
-
-
-class FutureIndex:
-    """Next-use queries over a fixed trace."""
-
-    def __init__(self, trace: Trace, identity: IdentityMode) -> None:
-        self._key_fn = identity.key_fn()
-        self._times: dict[Hashable, list[int]] = {}
-        for t, pw in enumerate(trace):
-            self._times.setdefault(self._key_fn(pw), []).append(t)
-
-    def key_of(self, pw: PWLookup | StoredPW) -> Hashable:
-        # StoredPW quacks enough like PWLookup for both key functions.
-        return self._key_fn(pw)  # type: ignore[arg-type]
-
-    def next_use(self, key: Hashable, after: int) -> int:
-        """First lookup time of ``key`` strictly after ``after``."""
-        times = self._times.get(key)
-        if not times:
-            return NEVER
-        index = bisect_right(times, after)
-        if index >= len(times):
-            return NEVER
-        return times[index]
-
-    def next_use_of(self, pw: PWLookup | StoredPW, after: int) -> int:
-        return self.next_use(self.key_of(pw), after)
+__all__ = [
+    "NEVER", "ColumnarFutureIndex", "FutureIndex", "OfflineReplayPolicy",
+    "shared_future_index",
+]
 
 
 class OfflineReplayPolicy(ReplacementPolicy):
@@ -103,12 +84,20 @@ class OfflineReplayPolicy(ReplacementPolicy):
         if metric is None:
             metric = ValueMetric.UOPS if variable_cost else ValueMetric.OHR
         self._metric = metric
-        self.future = FutureIndex(trace, self._identity)
+        self.future = shared_future_index(trace, self._identity)
         # Hot-path aliases: _score runs per resident per insertion
         # attempt, so the future-index internals and the metric dispatch
-        # are bound once here instead of per call.
-        self._times = self.future._times
+        # are bound once here instead of per call.  The two index
+        # layouts (reference dict-of-lists, shared columnar CSR) get a
+        # matching _score implementation each.
         self._key_fn = self.future._key_fn
+        if isinstance(self.future, ColumnarFutureIndex):
+            self._occ = self.future.occ_list
+            self._span = self.future.span
+            self._score = self._score_columnar
+        else:
+            self._times = self.future._times
+            self._score = self._score_reference
         self._metric_mode = (
             0 if metric is ValueMetric.OHR
             else 1 if metric is ValueMetric.ENTRIES
@@ -117,15 +106,30 @@ class OfflineReplayPolicy(ReplacementPolicy):
         self.plan: AdmissionPlan | None = None
         if plan_mode:
             set_fn = set_index_fn or default_set_index
-            per_set, slots = extract_intervals(
-                trace,
-                config,
-                identity=self._identity,
-                metric=metric,
-                set_index_fn=set_fn,
-                min_gap=config.insertion_delay if async_aware else 0,
-            )
-            self.plan = greedy_admission(per_set, slots, config.ways, len(trace))
+            min_gap = config.insertion_delay if async_aware else 0
+
+            def build_plan() -> AdmissionPlan:
+                per_set, slots = shared_intervals(
+                    trace,
+                    config,
+                    identity=self._identity,
+                    metric=metric,
+                    set_index_fn=set_fn,
+                    min_gap=min_gap,
+                )
+                return greedy_admission(per_set, slots, config.ways, len(trace))
+
+            if fast_path_enabled():
+                # The plan is a pure function of the decomposition, so
+                # plan-mode policies with identical parameters (e.g.
+                # foo-ohr and flack[foo]) share one admission pass.
+                self.plan = trace.memo(
+                    ("greedy_plan", self._identity, metric, set_fn, min_gap,
+                     config.sets, config.ways, config.uops_per_entry),
+                    build_plan,
+                )
+            else:
+                self.plan = build_plan()
 
     def reset(self) -> None:
         #: start -> global lookup time that began the current residency
@@ -160,23 +164,37 @@ class OfflineReplayPolicy(ReplacementPolicy):
 
     # --- scoring ---------------------------------------------------------------
 
-    def _score(self, pw: StoredPW, now: int) -> float:
-        """Evictability: entry-time consumed per unit of miss cost saved.
+    # ``self._score`` is bound in __init__ to the implementation
+    # matching the future-index layout.  Both compute the same number:
+    # ``(next_use - now) * size / value`` generalizes Belady's
+    # furthest-next-use rule (the size = value case) to variable
+    # disproportional costs — a far-future, many-entry, few-micro-op
+    # window is the cheapest thing to sacrifice.  ``now`` is an
+    # insertion-completion time; the lookup at ``now`` has not been
+    # served yet, so a use *at* ``now`` counts (``now - 1`` below).
 
-        ``(next_use - now) * size / value`` generalizes Belady's
-        furthest-next-use rule (the size = value case) to variable
-        disproportional costs: a far-future, many-entry, few-micro-op
-        window is the cheapest thing to sacrifice.
-
-        ``now`` is an insertion-completion time; the lookup at ``now``
-        has not been served yet, so a use *at* ``now`` counts
-        (``now - 1`` below).
-        """
+    def _score_reference(self, pw: StoredPW, now: int) -> float:
         times = self._times.get(self._key_fn(pw))
         if times:
             index = bisect_right(times, now - 1)
             if index < len(times):
                 distance = float(times[index] - now)
+                mode = self._metric_mode
+                if mode == 0:
+                    return distance * pw.size  # equal value, per-entry cost
+                if mode == 1:
+                    return distance  # value proportional to size: cancels
+                return distance * pw.size / max(1, pw.uops)
+        return float("inf")
+
+    def _score_columnar(self, pw: StoredPW, now: int) -> float:
+        span = self._span.get(self._key_fn(pw))
+        if span is not None:
+            lo, hi = span
+            occ = self._occ
+            index = bisect_right(occ, now - 1, lo, hi)
+            if index < hi:
+                distance = float(occ[index] - now)
                 mode = self._metric_mode
                 if mode == 0:
                     return distance * pw.size  # equal value, per-entry cost

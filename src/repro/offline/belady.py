@@ -22,7 +22,7 @@ from typing import Sequence
 from ..core.pw import PWLookup, StoredPW
 from ..core.trace import Trace
 from ..uopcache.replacement import EvictionReason, ReplacementPolicy
-from .base import NEVER, FutureIndex
+from .future import NEVER, shared_future_index
 from .intervals import IdentityMode
 
 
@@ -33,7 +33,7 @@ class BeladyPolicy(ReplacementPolicy):
 
     def __init__(self, trace: Trace) -> None:
         super().__init__()
-        self.future = FutureIndex(trace, IdentityMode.EXACT)
+        self.future = shared_future_index(trace, IdentityMode.EXACT)
 
     def reset(self) -> None:
         pass

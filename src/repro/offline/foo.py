@@ -27,7 +27,7 @@ from ..config import UopCacheConfig
 from ..core.trace import Trace
 from ..uopcache.cache import default_set_index
 from .base import OfflineReplayPolicy
-from .intervals import IdentityMode, ValueMetric, extract_intervals
+from .intervals import IdentityMode, ValueMetric, shared_intervals
 from .mincostflow import flow_admission
 
 
@@ -60,7 +60,7 @@ class FOOPolicy(OfflineReplayPolicy):
         if use_flow:
             # Replace the greedy plan with the exact LP/flow admission.
             set_fn = set_index_fn or default_set_index
-            per_set, slots = extract_intervals(
+            per_set, slots = shared_intervals(
                 trace,
                 config,
                 identity=IdentityMode.EXACT,

@@ -36,6 +36,9 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Callable, Hashable
 
+import numpy as np
+
+from .. import stagetimer
 from ..config import UopCacheConfig
 from ..core.pw import PWLookup
 from ..core.trace import Trace
@@ -150,3 +153,148 @@ def extract_intervals(
                 )
         last_seen[key] = (s, slot, t, pw)
     return per_set, slot_counts
+
+
+def _set_timeline(
+    trace: Trace, n_sets: int, set_index_fn: Callable[[int, int], int]
+) -> tuple[list[int], list[int], list[int]]:
+    """Per-lookup set index and set-local slot, memoized on the trace.
+
+    Returns ``(set_ids, slot_of, slot_counts)``; every interval
+    decomposition over one trace geometry shares the single pass.
+    """
+
+    def build() -> tuple[list[int], list[int], list[int]]:
+        set_of: dict[int, int] = {}
+        set_ids: list[int] = []
+        slot_of: list[int] = []
+        slot_counts = [0] * n_sets
+        for pw in trace.lookups:
+            start = pw.start
+            s = set_of.get(start)
+            if s is None:
+                s = set_of[start] = set_index_fn(start, n_sets)
+            set_ids.append(s)
+            slot_of.append(slot_counts[s])
+            slot_counts[s] += 1
+        return set_ids, slot_of, slot_counts
+
+    return trace.memo(("set_timeline", n_sets, set_index_fn), build)
+
+
+def _extract_intervals_columnar(
+    trace: Trace,
+    config: UopCacheConfig,
+    *,
+    identity: IdentityMode,
+    metric: ValueMetric,
+    set_index_fn: Callable[[int, int], int],
+    min_gap: int,
+) -> tuple[list[list[Interval]], list[int]]:
+    """Interval decomposition driven by the shared successor array.
+
+    The reuse chains :func:`extract_intervals` re-derives with its
+    ``last_seen`` scan are exactly the pairs ``(t, succ[t])`` of the
+    trace's columnar future index, so this consumes that shared
+    artifact and only walks the surviving pairs.  Pairs are emitted in
+    ascending end-time order — the same per-set order the reference
+    scan appends in.
+    """
+    from .future import NEVER, shared_future_index
+
+    index = shared_future_index(trace, identity)
+    succ = getattr(index, "succ", None)
+    if succ is None:  # fast path disabled: reference index has no array
+        return extract_intervals(
+            trace, config, identity=identity, metric=metric,
+            set_index_fn=set_index_fn, min_gap=min_gap,
+        )
+    set_ids, slot_of, slot_counts = _set_timeline(
+        trace, config.sets, set_index_fn
+    )
+    ways = config.ways
+    uops_per_entry = config.uops_per_entry
+    per_set: list[list[Interval]] = [[] for _ in range(config.sets)]
+
+    starts = np.nonzero(succ != NEVER)[0]
+    ends = succ[starts]
+    if min_gap:
+        keep = ends - starts > min_gap
+        starts, ends = starts[keep], ends[keep]
+    order = np.argsort(ends, kind="stable")
+    starts, ends = starts[order], ends[order]
+
+    # Vectorized size/value computation (same arithmetic as
+    # interval_value / PWLookup.size, broadcast over all pairs).
+    uops = trace.memo(
+        ("uops_arr",),
+        lambda: np.fromiter(
+            (pw.uops for pw in trace.lookups), dtype=np.int64,
+            count=len(trace.lookups),
+        ),
+    )
+    stored_uops = uops[starts]
+    sizes = np.minimum(-(-stored_uops // uops_per_entry), ways)
+    if metric is ValueMetric.OHR:
+        values = np.ones(len(starts))
+    elif metric is ValueMetric.ENTRIES:
+        values = np.minimum(
+            -(-stored_uops // uops_per_entry), -(-uops[ends] // uops_per_entry)
+        ).astype(float)
+    else:
+        values = np.minimum(stored_uops, uops[ends]).astype(float)
+
+    for t_start, t_end, size, value in zip(
+        starts.tolist(), ends.tolist(), sizes.tolist(), values.tolist()
+    ):
+        s = set_ids[t_start]
+        per_set[s].append(
+            Interval(
+                set_index=s,
+                i_slot=slot_of[t_start],
+                j_slot=slot_of[t_end],
+                t_start=t_start,
+                t_end=t_end,
+                size=size,
+                value=value,
+            )
+        )
+    return per_set, slot_counts
+
+
+def shared_intervals(
+    trace: Trace,
+    config: UopCacheConfig,
+    *,
+    identity: IdentityMode,
+    metric: ValueMetric,
+    set_index_fn: Callable[[int, int], int],
+    min_gap: int = 0,
+) -> tuple[list[list[Interval]], list[int]]:
+    """Memoized interval decomposition shared across policy instances.
+
+    Keyed by everything that shapes the result (identity, metric, cache
+    geometry, ``min_gap``); FOO and the FLACK plan-mode ablation step
+    requesting the same decomposition of one trace pay for it once.
+    Callers must not mutate the returned structures.  With the fast
+    path disabled this falls through to a fresh reference extraction.
+    """
+    from .future import fast_path_enabled
+
+    kwargs = dict(
+        identity=identity, metric=metric, set_index_fn=set_index_fn,
+        min_gap=min_gap,
+    )
+    if not fast_path_enabled():
+        with stagetimer.timed("intervals"):
+            return extract_intervals(trace, config, **kwargs)
+    key = (
+        "intervals", identity, metric, set_index_fn, min_gap,
+        config.sets, config.ways, config.uops_per_entry,
+    )
+
+    def build() -> tuple[list[list[Interval]], list[int]]:
+        with stagetimer.timed("intervals"):
+            return _extract_intervals_columnar(trace, config, **kwargs)
+
+    return trace.memo(key, build)

@@ -8,16 +8,31 @@ its end slot, either through the chain (cached, free) or through a
 direct *miss* edge costing the interval's value.  Minimizing cost
 maximizes the value of cached intervals.
 
-This solver is exact but O(F · E log V), so the policies default to the
-greedy admission in :mod:`repro.offline.plan`; tests use this module to
-bound the greedy plan's optimality gap, and ``FOOPolicy(use_flow=True)``
-runs it end-to-end on small traces.
+Two structural optimizations make the exact solver usable at full
+trace length (the greedy admission in :mod:`repro.offline.plan` is
+still the policies' default):
+
+* :meth:`MinCostFlow.solve` augments with *multi-unit blocking pushes*:
+  after each Dijkstra/potential update it saturates **every**
+  zero-reduced-cost (shortest) augmenting path with a Dinic-style
+  blocking flow over the admissible level graph, instead of one path
+  per Dijkstra.  Identical flows and costs — the classic per-path
+  successive-shortest-path loop is kept as
+  :meth:`~MinCostFlow.solve_reference` and equivalence is tested.
+* :func:`flow_admission` compresses each set's slot chain to the slots
+  that are actually interval endpoints: chain segments between
+  consecutive endpoints are series edges of equal capacity and zero
+  cost, so they collapse to one edge without changing any feasible
+  flow.  A set touched by a handful of intervals now yields a graph of
+  that size, not of the set's full timeline.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 
+from .. import stagetimer
 from ..errors import FlowError
 from .intervals import Interval
 from .plan import AdmissionPlan
@@ -27,9 +42,12 @@ _COST_SCALE = 1024
 
 
 class MinCostFlow:
-    """Successive-shortest-path min-cost max-flow with potentials.
+    """Min-cost max-flow via successive shortest paths with potentials.
 
     Edge costs must be non-negative (true for this problem).
+    :meth:`solve` performs blocking-flow (multi-unit) augmentation per
+    potential update; :meth:`solve_reference` is the one-path-per-
+    Dijkstra baseline it must match.
     """
 
     def __init__(self, n_nodes: int) -> None:
@@ -59,8 +77,38 @@ class MinCostFlow:
         """Units of flow routed through an edge added by :meth:`add_edge`."""
         return self._cap[edge_index + 1]
 
+    def _dijkstra(self, source: int, potential: list[int]) -> list:
+        """Shortest reduced-cost distances from ``source``."""
+        dist: list = [float("inf")] * self._n
+        dist[source] = 0
+        to, cap, cost, graph = self._to, self._cap, self._cost, self._graph
+        heap = [(0, source)]
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist[u]:
+                continue
+            pu = potential[u]
+            for edge in graph[u]:
+                if cap[edge] <= 0:
+                    continue
+                v = to[edge]
+                nd = d + cost[edge] + pu - potential[v]
+                if nd < dist[v]:
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+        return dist
+
     def solve(self, source: int, sink: int) -> tuple[int, int]:
-        """Push max flow at min cost; returns ``(flow, cost)``."""
+        """Push max flow at min cost; returns ``(flow, cost)``.
+
+        Per phase: one Dijkstra fixes the potentials, a BFS levels the
+        admissible (zero-reduced-cost residual) subgraph, and an
+        iterative DFS with per-node edge cursors pushes a blocking flow
+        through it — every augmenting path of the phase costs the same,
+        so saturating them all at once preserves the
+        successive-shortest-path invariant while doing the expensive
+        Dijkstra once per cost level instead of once per path.
+        """
         n = self._n
         to, cap, cost = self._to, self._cap, self._cost
         graph = self._graph
@@ -69,7 +117,82 @@ class MinCostFlow:
         total_cost = 0
         infinity = float("inf")
         while True:
-            dist = [infinity] * n
+            dist = self._dijkstra(source, potential)
+            if dist[sink] == infinity:
+                break
+            for v in range(n):
+                if dist[v] < infinity:
+                    potential[v] += dist[v]
+            # Saturate every zero-reduced-cost path before paying for
+            # another Dijkstra: a blocking flow only covers shortest-
+            # hop-count admissible paths, so re-level and repeat until
+            # the admissible subgraph disconnects source from sink.
+            while True:
+                level = [-1] * n
+                level[source] = 0
+                queue = deque([source])
+                while queue:
+                    u = queue.popleft()
+                    lu = level[u] + 1
+                    pu = potential[u]
+                    for edge in graph[u]:
+                        v = to[edge]
+                        if (cap[edge] > 0 and level[v] < 0
+                                and cost[edge] + pu - potential[v] == 0):
+                            level[v] = lu
+                            queue.append(v)
+                if level[sink] < 0:
+                    break
+                # Blocking flow: repeated cursor-preserving DFS until
+                # the admissible level graph is saturated.
+                cursor = [0] * n
+                while True:
+                    stack = [source]
+                    path: list[int] = []
+                    while stack:
+                        u = stack[-1]
+                        if u == sink:
+                            break
+                        advanced = False
+                        edges = graph[u]
+                        while cursor[u] < len(edges):
+                            edge = edges[cursor[u]]
+                            v = to[edge]
+                            if (cap[edge] > 0 and level[v] == level[u] + 1
+                                    and cost[edge] + potential[u]
+                                    - potential[v] == 0):
+                                stack.append(v)
+                                path.append(edge)
+                                advanced = True
+                                break
+                            cursor[u] += 1
+                        if not advanced:
+                            stack.pop()
+                            if path:
+                                # Dead end: skip the edge that led here.
+                                parent = stack[-1]
+                                cursor[parent] += 1
+                                path.pop()
+                    if not stack:
+                        break  # level graph exhausted
+                    push = min(cap[edge] for edge in path)
+                    for edge in path:
+                        cap[edge] -= push
+                        cap[edge ^ 1] += push
+                        total_cost += push * cost[edge]
+                    total_flow += push
+        return total_flow, total_cost
+
+    def solve_reference(self, source: int, sink: int) -> tuple[int, int]:
+        """One-augmenting-path-per-Dijkstra baseline (kept for tests)."""
+        n = self._n
+        to, cap, cost = self._to, self._cap, self._cost
+        potential = [0] * n
+        total_flow = 0
+        total_cost = 0
+        infinity = float("inf")
+        while True:
+            dist: list = [infinity] * n
             dist[source] = 0
             parent_edge = [-1] * n
             heap = [(0, source)]
@@ -77,7 +200,7 @@ class MinCostFlow:
                 d, u = heapq.heappop(heap)
                 if d > dist[u]:
                     continue
-                for edge in graph[u]:
+                for edge in self._graph[u]:
                     if cap[edge] <= 0:
                         continue
                     v = to[edge]
@@ -120,33 +243,47 @@ def flow_admission(
 
     An interval is admitted when more than half its units route through
     the chain (the standard rounding of FOO's fractional solution).
+    The per-set chain is compressed to interval-endpoint slots: runs of
+    series chain edges with no interval attached collapse into one
+    edge, which leaves the flow problem unchanged but sizes the graph
+    by the set's interval count rather than its timeline length.
     """
-    plan = AdmissionPlan(trace_len)
-    for set_index, intervals in enumerate(per_set):
-        if not intervals:
-            continue
-        plan.considered_count += len(intervals)
-        plan.considered_value += sum(iv.value for iv in intervals)
-        m = max(1, slot_counts[set_index])
-        source, sink = m, m + 1
-        solver = MinCostFlow(m + 2)
-        for slot in range(m - 1):
-            solver.add_edge(slot, slot + 1, ways, 0)
-        miss_edges: list[tuple[Interval, int]] = []
-        for interval in intervals:
-            if interval.i_slot >= interval.j_slot:
-                plan.admit(interval)  # occupies no capacity
+    with stagetimer.timed("flow_admission"):
+        plan = AdmissionPlan(trace_len)
+        for intervals in per_set:
+            if not intervals:
                 continue
-            solver.add_edge(source, interval.i_slot, interval.size, 0)
-            solver.add_edge(interval.j_slot, sink, interval.size, 0)
-            unit_cost = max(1, round(interval.value * _COST_SCALE / interval.size))
-            miss_edge = solver.add_edge(
-                interval.i_slot, interval.j_slot, interval.size, unit_cost
+            plan.considered_count += len(intervals)
+            plan.considered_value += sum(iv.value for iv in intervals)
+            spanning = [iv for iv in intervals if iv.i_slot < iv.j_slot]
+            for interval in intervals:
+                if interval.i_slot >= interval.j_slot:
+                    plan.admit(interval)  # occupies no capacity
+            if not spanning:
+                continue
+            endpoints = sorted(
+                {iv.i_slot for iv in spanning} | {iv.j_slot for iv in spanning}
             )
-            miss_edges.append((interval, miss_edge))
-        solver.solve(source, sink)
-        for interval, miss_edge in miss_edges:
-            missed_units = solver.flow_on(miss_edge)
-            if missed_units * 2 <= interval.size:
-                plan.admit(interval)
+            node_of = {slot: node for node, slot in enumerate(endpoints)}
+            m = len(endpoints)
+            source, sink = m, m + 1
+            solver = MinCostFlow(m + 2)
+            for node in range(m - 1):
+                solver.add_edge(node, node + 1, ways, 0)
+            miss_edges: list[tuple[Interval, int]] = []
+            for interval in spanning:
+                u = node_of[interval.i_slot]
+                v = node_of[interval.j_slot]
+                solver.add_edge(source, u, interval.size, 0)
+                solver.add_edge(v, sink, interval.size, 0)
+                unit_cost = max(
+                    1, round(interval.value * _COST_SCALE / interval.size)
+                )
+                miss_edge = solver.add_edge(u, v, interval.size, unit_cost)
+                miss_edges.append((interval, miss_edge))
+            solver.solve(source, sink)
+            for interval, miss_edge in miss_edges:
+                missed_units = solver.flow_on(miss_edge)
+                if missed_units * 2 <= interval.size:
+                    plan.admit(interval)
     return plan

@@ -17,8 +17,7 @@ its next use?" — which is everything the replay policy needs.
 
 from __future__ import annotations
 
-import numpy as np
-
+from .. import stagetimer
 from .intervals import Interval
 
 
@@ -63,25 +62,32 @@ def greedy_admission(
     ``[i_slot, j_slot)`` still has ``size`` free entries.  Zero-length
     spans (back-to-back lookups in the same set) occupy nothing and are
     always admitted.
+
+    The occupancy is a plain list: the windows are short (a reuse span
+    within one set's timeline), so C-level ``max`` over a slice and a
+    slice-assign update beat per-interval numpy calls by a wide margin.
     """
-    plan = AdmissionPlan(trace_len)
-    for set_index, intervals in enumerate(per_set):
-        if not intervals:
-            continue
-        plan.considered_count += len(intervals)
-        plan.considered_value += sum(iv.value for iv in intervals)
-        occupancy = np.zeros(max(1, slot_counts[set_index]), dtype=np.int32)
-        # Density-descending; deterministic tie-break on (start, slot).
-        ranked = sorted(
-            intervals, key=lambda iv: (-iv.density(), iv.t_start, iv.i_slot)
-        )
-        for interval in ranked:
-            lo, hi = interval.i_slot, interval.j_slot
-            if lo >= hi:
-                plan.admit(interval)
+    with stagetimer.timed("greedy_admission"):
+        plan = AdmissionPlan(trace_len)
+        for set_index, intervals in enumerate(per_set):
+            if not intervals:
                 continue
-            window = occupancy[lo:hi]
-            if int(window.max()) + interval.size <= ways:
-                window += interval.size
-                plan.admit(interval)
+            plan.considered_count += len(intervals)
+            plan.considered_value += sum(iv.value for iv in intervals)
+            occupancy = [0] * max(1, slot_counts[set_index])
+            # Density-descending; deterministic tie-break on (start, slot).
+            ranked = sorted(
+                intervals, key=lambda iv: (-iv.density(), iv.t_start, iv.i_slot)
+            )
+            admit = plan.admit
+            for interval in ranked:
+                lo, hi = interval.i_slot, interval.j_slot
+                if lo >= hi:
+                    admit(interval)
+                    continue
+                window = occupancy[lo:hi]
+                size = interval.size
+                if max(window) + size <= ways:
+                    occupancy[lo:hi] = [v + size for v in window]
+                    admit(interval)
     return plan

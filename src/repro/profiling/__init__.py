@@ -7,7 +7,7 @@ rates, clustering them with Jenks natural breaks, and injecting the
 """
 
 from .hints import HintMap, build_hints
-from .hitrate import collect_hit_rates, three_class_profile
+from .hitrate import collect_hit_rates, collect_hit_stats, three_class_profile
 from .jenks import jenks_breaks, jenks_group
 from .pipeline import FurbysProfile, make_furbys, profile_application
 from .ptrace import record_lookup_sequence, simulate_pt_collection
@@ -16,6 +16,7 @@ __all__ = [
     "HintMap",
     "build_hints",
     "collect_hit_rates",
+    "collect_hit_stats",
     "three_class_profile",
     "jenks_breaks",
     "jenks_group",

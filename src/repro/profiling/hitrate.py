@@ -9,6 +9,7 @@ Jenks grouping.
 
 from __future__ import annotations
 
+from .. import stagetimer
 from ..config import SimulationConfig
 from ..core.trace import Trace
 from ..errors import ProfilingError
@@ -40,6 +41,34 @@ def make_profile_policy(
     )
 
 
+def collect_hit_stats(
+    trace: Trace,
+    config: SimulationConfig,
+    *,
+    source: str = "flack",
+    policy: ReplacementPolicy | None = None,
+) -> dict[int, tuple[int, int]]:
+    """Raw per-PW ``(uops hit, uops requested)`` counts from one replay.
+
+    This is the expensive profiling artifact — a full simulation under
+    an offline policy — and the form the shared artifact store
+    (:mod:`repro.harness.artifacts`) caches: the counts carry the
+    sample weights that hit *rates* discard, which profile merging
+    needs.  ``policy`` overrides ``source`` when provided (tests use
+    this to profile under arbitrary policies).
+    """
+    if policy is None:
+        policy = make_profile_policy(source, trace, config)
+    with stagetimer.timed("profile_sim"):
+        pipeline = FrontendPipeline(config, policy, record_hit_rates=True)
+        pipeline.run(trace)
+    assert pipeline.pw_hit_stats is not None
+    return {
+        start: (hit, total)
+        for start, (hit, total) in pipeline.pw_hit_stats.items()
+    }
+
+
 def collect_hit_rates(
     trace: Trace,
     config: SimulationConfig,
@@ -52,27 +81,31 @@ def collect_hit_rates(
     ``policy`` overrides ``source`` when provided (tests use this to
     profile under arbitrary policies).
     """
-    if policy is None:
-        policy = make_profile_policy(source, trace, config)
-    pipeline = FrontendPipeline(config, policy, record_hit_rates=True)
-    pipeline.run(trace)
-    assert pipeline.pw_hit_stats is not None
+    stats = collect_hit_stats(trace, config, source=source, policy=policy)
     return {
         start: (hit / total if total else 0.0)
-        for start, (hit, total) in pipeline.pw_hit_stats.items()
+        for start, (hit, total) in stats.items()
     }
 
 
 def three_class_profile(
-    trace: Trace, config: SimulationConfig, *, source: str = "flack"
+    trace: Trace,
+    config: SimulationConfig,
+    *,
+    source: str = "flack",
+    hit_rates: dict[int, float] | None = None,
 ) -> dict[int, int]:
     """Thermometer's hot/warm/cold classification from profiled hit rates.
 
     Thermometer [82] divides entries into three temperature classes by
     profiled hit rate; this reuses the same profiling run as FURBYS but
-    collapses the clustering to three Jenks classes.
+    collapses the clustering to three Jenks classes.  ``hit_rates``
+    supplies already-collected rates (the shared artifact store uses
+    this to skip the replay); when omitted they are profiled here.
     """
-    rates = collect_hit_rates(trace, config, source=source)
+    rates = hit_rates
+    if rates is None:
+        rates = collect_hit_rates(trace, config, source=source)
     if not rates:
         return {}
     breaks = jenks_breaks(list(rates.values()), 3)

@@ -13,11 +13,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import stagetimer
 from ..config import SimulationConfig
 from ..core.trace import Trace
 from ..policies.furbys import FurbysPolicy
 from .hints import HintMap, build_hints, merge_hints
-from .hitrate import collect_hit_rates
+from .hitrate import collect_hit_stats
 from .ptrace import record_lookup_sequence
 
 
@@ -30,18 +31,42 @@ class FurbysProfile:
     source: str = "flack"
     n_bits: int = 3
     scope: str = "per_set"
+    #: start -> micro-ops requested during profiling (the hit-rate
+    #: denominator); the sample weight for cross-input merging.
+    sample_counts: dict[int, int] = field(repr=False, default_factory=dict)
 
     @property
     def n_groups(self) -> int:
         return 1 << self.n_bits
 
     def merged_with(self, *others: "FurbysProfile") -> "FurbysProfile":
-        """Combine profiles from several training inputs (Figure 18)."""
+        """Combine profiles from several training inputs (Figure 18).
+
+        Hit rates merge as the sample-weighted mean (weights are the
+        per-start micro-op totals when recorded, else uniform), so a
+        start profiled heavily in one input is not diluted by a few
+        stray lookups in another; sample counts accumulate.
+        """
+        profiles = [self, *others]
+        rate_acc: dict[int, list[float]] = {}  # start -> [rate*w sum, w sum]
+        counts: dict[int, int] = {}
+        for profile in profiles:
+            for start, rate in profile.hit_rates.items():
+                weight = profile.sample_counts.get(start, 1)
+                entry = rate_acc.setdefault(start, [0.0, 0.0])
+                entry[0] += rate * weight
+                entry[1] += weight
+                counts[start] = counts.get(start, 0) + weight
         return FurbysProfile(
-            hints=merge_hints([self.hints, *[o.hints for o in others]]),
+            hints=merge_hints([p.hints for p in profiles]),
+            hit_rates={
+                start: (num / den if den else 0.0)
+                for start, (num, den) in rate_acc.items()
+            },
             source=self.source,
             n_bits=self.n_bits,
             scope=self.scope,
+            sample_counts=counts,
         )
 
 
@@ -52,24 +77,35 @@ def profile_application(
     source: str = "flack",
     n_bits: int = 3,
     scope: str = "per_set",
+    hit_stats: dict[int, tuple[int, int]] | None = None,
 ) -> FurbysProfile:
     """Run STEP 2-6 on a training trace.
 
     ``source`` selects the offline decision generator (``flack``,
     ``belady`` or ``foo`` — the Figure 15 comparison); ``n_bits`` the
     hint width (Figure 19); ``scope`` the weight granularity.
+    ``hit_stats`` supplies an already-collected profiling replay (see
+    :mod:`repro.harness.artifacts`), skipping STEP 3-5's simulation.
     """
     record_lookup_sequence(trace)  # STEP 2 (identity here; see ptrace.py)
-    hit_rates = collect_hit_rates(trace, config, source=source)  # STEP 3-5
-    hints = build_hints(  # STEP 6
-        trace,
-        hit_rates,
-        n_bits=n_bits,
-        scope=scope,
-        n_sets=config.uop_cache.sets,
-    )
+    if hit_stats is None:
+        hit_stats = collect_hit_stats(trace, config, source=source)  # STEP 3-5
+    hit_rates = {
+        start: (hit / total if total else 0.0)
+        for start, (hit, total) in hit_stats.items()
+    }
+    with stagetimer.timed("hint_build"):
+        hints = build_hints(  # STEP 6
+            trace,
+            hit_rates,
+            n_bits=n_bits,
+            scope=scope,
+            n_sets=config.uop_cache.sets,
+        )
     return FurbysProfile(
-        hints=hints, hit_rates=hit_rates, source=source, n_bits=n_bits, scope=scope
+        hints=hints, hit_rates=hit_rates, source=source, n_bits=n_bits,
+        scope=scope,
+        sample_counts={s: total for s, (_, total) in hit_stats.items()},
     )
 
 

@@ -100,6 +100,76 @@ class TestRun:
         assert stats.uops_total > 0
 
 
+class TestSharedArtifacts:
+    """The profiling artifact store behind FURBYS/Thermometer requests."""
+
+    def test_furbys_and_thermometer_share_one_profiling_replay(self, monkeypatch):
+        from repro.harness import artifacts
+        from repro.profiling import hitrate
+
+        clear_memory_cache()
+        replays = []
+        original = hitrate.collect_hit_stats
+
+        def counting(*args, **kwargs):
+            replays.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(hitrate, "collect_hit_stats", counting)
+        run(RunRequest(app="kafka", policy="furbys", **SMALL))
+        run(RunRequest(app="kafka", policy="thermometer", **SMALL))
+        # Same app/input/geometry/source: one replay serves both, plus
+        # any hint-parameter variant.
+        run(RunRequest(app="kafka", policy="furbys", hint_bits=2, **SMALL))
+        assert len(replays) == 1
+        assert artifacts._hitstats_cache
+
+    def test_profile_artifacts_persist_to_disk(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_memory_cache()
+        request = RunRequest(app="kafka", policy="furbys", **SMALL)
+        first = run(request)
+        assert list(tmp_path.glob("hitstats-*.json"))
+        assert list(tmp_path.glob("profile-*.json"))
+        clear_memory_cache()
+        second = run(RunRequest(app="kafka", policy="furbys", hint_bits=2,
+                                **SMALL))
+        assert first.uops_total > 0 and second.uops_total > 0
+
+    def test_corrupt_artifact_is_recomputed(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_memory_cache()
+        request = RunRequest(app="kafka", policy="furbys", **SMALL)
+        reference = dataclasses.asdict(run(request))
+        for path in list(tmp_path.glob("hitstats-*.json")) + list(
+            tmp_path.glob("profile-*.json")
+        ):
+            path.write_text("{torn")
+        clear_memory_cache()
+        again = dataclasses.asdict(run(request))
+        # The simulation result itself still round-trips through the
+        # stats cache; force a cold recompute of the profile too.
+        for path in tmp_path.glob("*.json"):
+            path.unlink()
+        clear_memory_cache()
+        cold = dataclasses.asdict(run(request))
+        assert reference == again == cold
+
+    def test_artifact_sharing_matches_reference_path(self, monkeypatch):
+        clear_memory_cache()
+        fast = dataclasses.asdict(
+            run(RunRequest(app="kafka", policy="furbys", **SMALL))
+        )
+        monkeypatch.setenv("REPRO_POLICY_FASTPATH", "0")
+        clear_memory_cache()
+        reference = dataclasses.asdict(
+            run(RunRequest(app="kafka", policy="furbys", **SMALL))
+        )
+        assert fast == reference
+
+
 def _hammer_same_key(cache_dir: str, rounds: int) -> str:
     """Worker: repeatedly publish the same cache entry (integrity test)."""
     os.environ["REPRO_CACHE"] = "1"

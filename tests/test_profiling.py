@@ -124,6 +124,39 @@ class TestEndToEnd:
         merged = a.merged_with(a)
         assert merged.hints == a.hints
 
+    def test_merged_profiles_keep_hit_rates(self, trace, config):
+        # Regression: merged_with used to drop hit_rates entirely,
+        # leaving merged profiles unable to re-cluster or re-merge.
+        a = profile_application(trace, config)
+        merged = a.merged_with(a)
+        assert merged.hit_rates
+        assert merged.hit_rates == pytest.approx(a.hit_rates)
+        assert merged.sample_counts == {
+            start: 2 * count for start, count in a.sample_counts.items()
+        }
+
+    def test_merge_weights_by_sample_counts(self):
+        from repro.profiling import FurbysProfile
+
+        heavy = FurbysProfile(
+            hints={0x1: 3}, hit_rates={0x1: 1.0}, sample_counts={0x1: 90}
+        )
+        light = FurbysProfile(
+            hints={0x1: 1}, hit_rates={0x1: 0.0}, sample_counts={0x1: 10}
+        )
+        merged = heavy.merged_with(light)
+        # 90 samples at 1.0 + 10 at 0.0 -> 0.9, not the unweighted 0.5.
+        assert merged.hit_rates[0x1] == pytest.approx(0.9)
+        assert merged.sample_counts[0x1] == 100
+
+    def test_merge_defaults_to_uniform_without_counts(self):
+        from repro.profiling import FurbysProfile
+
+        a = FurbysProfile(hints={0x1: 2}, hit_rates={0x1: 1.0})
+        b = FurbysProfile(hints={0x1: 2}, hit_rates={0x1: 0.0})
+        merged = a.merged_with(b)
+        assert merged.hit_rates[0x1] == pytest.approx(0.5)
+
     def test_profile_guided_furbys_beats_unhinted_on_cyclic(self, config):
         # A stationary cyclic workload is the canonical profile win.
         trace = cyclic_trace(96, repeats=30, uops=8)
