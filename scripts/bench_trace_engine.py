@@ -1,0 +1,227 @@
+#!/usr/bin/env python
+"""Measure cold trace construction and the binary trace store.
+
+The headline metric is the wall-clock to build every app's trace cold
+(registry and disk caches off), best-of-``--repeats`` — the work the
+columnar generation fast path (``REPRO_TRACE_FASTPATH``) accelerates
+and the disk trace cache then eliminates entirely.  Three extra checks
+make the artifact self-verifying:
+
+* with ``--before-src`` pointing at a pre-optimization checkout's
+  ``src/`` (e.g. a git worktree), the same batch is timed there and the
+  v1 dumps of both arms' traces are digest-compared, making the
+  bit-identity claim part of the artifact (``identical_results``);
+* a 1,000,000-lookup trace is generated and round-tripped through the
+  v2 binary format (``million_lookup_roundtrip``);
+* ``--cache-smoke`` runs two cold simulation batches in fresh
+  interpreters sharing one cache directory and asserts the second
+  regenerated zero traces (it must be served by the disk trace cache).
+
+Usage::
+
+    git worktree add /tmp/before-wt <pre-optimization-commit>
+    PYTHONPATH=src python scripts/bench_trace_engine.py \
+        --before-src /tmp/before-wt/src --output BENCH_trace_engine.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Runs inside a fresh interpreter per arm so the two arms cannot share
+#: imported modules or warmed caches.  Prints one JSON object.
+_INNER = r"""
+import hashlib, io, json, os, sys, time
+os.environ["REPRO_CACHE"] = "0"
+from repro.workloads.apps import get_profile
+from repro.workloads.registry import build_app_trace, clear_trace_cache
+
+apps, trace_len, repeats = (
+    tuple(sys.argv[1].split(",")), int(sys.argv[2]), int(sys.argv[3])
+)
+readings = []
+for _ in range(repeats):
+    clear_trace_cache()
+    total = 0.0
+    for app in apps:
+        started = time.perf_counter()
+        build_app_trace(get_profile(app), "default", trace_len)
+        total += time.perf_counter() - started
+    readings.append(round(total, 3))
+best = min(readings)
+# Behaviour check: the v1 text dump digests the full lookup sequence
+# plus metadata, and both arms can produce it.
+digests = {}
+for app in apps:
+    trace = build_app_trace(get_profile(app), "default", trace_len)
+    stream = io.StringIO()
+    trace.dump(stream)
+    digests[app] = hashlib.sha256(stream.getvalue().encode()).hexdigest()
+total_lookups = trace_len * len(apps)
+json.dump({
+    "apps": len(apps),
+    "trace_len": trace_len,
+    "total_lookups": total_lookups,
+    "readings_s": readings,
+    "build_s": best,
+    "build_lookups_per_s": round(total_lookups / best, 1),
+    "digests": digests,
+}, sys.stdout)
+"""
+
+#: Generates a 1M-lookup trace and round-trips it through v2 binary.
+_MILLION = r"""
+import json, os, sys, tempfile, time
+os.environ["REPRO_CACHE"] = "0"
+from repro.core.trace import Trace
+from repro.workloads.apps import get_profile
+from repro.workloads.registry import build_app_trace
+
+started = time.perf_counter()
+trace = build_app_trace(get_profile("kafka"), "default", 1_000_000)
+gen_s = time.perf_counter() - started
+with tempfile.NamedTemporaryFile(suffix=".bin", delete=False) as tmp:
+    path = tmp.name
+try:
+    started = time.perf_counter()
+    trace.save_binary(path)
+    save_s = time.perf_counter() - started
+    size = os.path.getsize(path)
+    started = time.perf_counter()
+    loaded = Trace.load_binary(path)
+    load_s = time.perf_counter() - started
+    ok = (
+        len(loaded) == len(trace)
+        and loaded.metadata == trace.metadata
+        and loaded.columns == trace.columns
+    )
+finally:
+    os.unlink(path)
+json.dump({
+    "lookups": len(trace),
+    "generate_s": round(gen_s, 3),
+    "save_s": round(save_s, 3),
+    "load_s": round(load_s, 3),
+    "file_bytes": size,
+    "roundtrip_identical": ok,
+}, sys.stdout)
+"""
+
+#: One cold simulation batch; prints the trace-cache counters so the
+#: caller can see whether traces were generated or disk-loaded.
+_CACHE_SMOKE = r"""
+import json, sys
+from repro.harness.parallel import run_batch
+from repro.harness.runner import RunRequest
+from repro.workloads.registry import trace_cache_stats
+
+apps, policy, trace_len = sys.argv[1].split(","), sys.argv[2], int(sys.argv[3])
+requests = [
+    RunRequest(app=app, policy=policy, trace_len=trace_len) for app in apps
+]
+run_batch(requests, jobs=1)
+json.dump(trace_cache_stats(), sys.stdout)
+"""
+
+
+def _run_inner(src: Path, code: str, argv: list[str],
+               extra_env: dict | None = None) -> dict:
+    env = dict(os.environ, PYTHONPATH=str(src))
+    if extra_env:
+        env.update(extra_env)
+    output = subprocess.run(
+        [sys.executable, "-c", code, *argv],
+        env=env, check=True, capture_output=True, text=True,
+    ).stdout
+    return json.loads(output)
+
+
+def _cache_smoke(src: Path, apps: str, trace_len: int) -> dict:
+    """Two cold batches, fresh interpreters, one shared cache dir.
+
+    The second run uses a different policy so its simulation results
+    miss the stats cache (forcing real runs) while its traces must come
+    from the disk trace cache: ``generated`` has to be 0.
+    """
+    with tempfile.TemporaryDirectory(prefix="repro-trace-smoke-") as cache:
+        env = {"REPRO_CACHE": "1", "REPRO_CACHE_DIR": cache}
+        first = _run_inner(src, _CACHE_SMOKE, [apps, "lru", str(trace_len)],
+                           env)
+        second = _run_inner(src, _CACHE_SMOKE, [apps, "srrip", str(trace_len)],
+                            env)
+    return {
+        "first_run": first,
+        "second_run": second,
+        "second_run_regenerated_zero": second["generated"] == 0,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--apps", default="kafka,clang,postgres")
+    parser.add_argument("--trace-len", type=int, default=45_000)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="batch repetitions per arm (best-of)")
+    parser.add_argument("--before-src", type=Path, default=None,
+                        help="src/ of a pre-optimization checkout; when "
+                             "given, times it and checks bit-identity")
+    parser.add_argument("--skip-million", action="store_true",
+                        help="skip the 1M-lookup v2 round-trip check")
+    parser.add_argument("--cache-smoke", action="store_true",
+                        help="also assert the second cold batch hits the "
+                             "disk trace cache (0 regenerations)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="also write the JSON to this file")
+    args = parser.parse_args(argv)
+
+    src = REPO / "src"
+    inner_args = [args.apps, str(args.trace_len), str(args.repeats)]
+    after = _run_inner(src, _INNER, inner_args)
+    outcome = {
+        "benchmark": "cold trace construction "
+                     f"({after['apps']} apps x {args.trace_len}-lookup "
+                     "traces; registry and disk caches off)",
+        "apps": args.apps,
+        "after": {k: after[k] for k in
+                  ("readings_s", "build_s", "build_lookups_per_s")},
+    }
+
+    if args.before_src is not None:
+        before = _run_inner(args.before_src, _INNER, inner_args)
+        outcome["before"] = {k: before[k] for k in
+                             ("readings_s", "build_s", "build_lookups_per_s")}
+        outcome["speedup"] = round(before["build_s"] / after["build_s"], 3)
+        outcome["identical_results"] = before["digests"] == after["digests"]
+
+    if not args.skip_million:
+        outcome["million_lookup_roundtrip"] = _run_inner(src, _MILLION, [])
+
+    if args.cache_smoke:
+        outcome["cache_smoke"] = _cache_smoke(
+            src, args.apps, min(args.trace_len, 8000)
+        )
+
+    text = json.dumps(outcome, indent=2)
+    print(text)
+    if args.output is not None:
+        args.output.write_text(text + "\n")
+    ok = (
+        outcome.get("identical_results", True)
+        and outcome.get("million_lookup_roundtrip",
+                        {}).get("roundtrip_identical", True)
+        and outcome.get("cache_smoke",
+                        {}).get("second_run_regenerated_zero", True)
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,9 @@ Examples::
     repro bench --micro        # per-stage single-run microbenchmark
     repro bench --micro --baseline benchmarks/microbench_baseline.json
     repro bench --stage policy_build   # policy construction only
+    repro bench --stage trace_build    # trace construction only
     repro bench --profile      # cProfile one cold run
+    repro trace inspect t.bin  # trace files: inspect / convert / gen
     repro all                  # everything (long)
 """
 
@@ -48,15 +50,23 @@ def _bench(args: argparse.Namespace) -> int:
         return 0
 
     if args.stage:
-        if args.stage != "policy_build":
-            print(f"unknown --stage {args.stage!r}; only 'policy_build' is "
-                  "available", file=sys.stderr)
-            return 2
-        from .harness.microbench import policy_build_batch
+        if args.stage == "policy_build":
+            from .harness.microbench import policy_build_batch
 
-        outcome = policy_build_batch(
-            apps, policies, trace_len=args.trace_len or 20_000
-        )
+            outcome = policy_build_batch(
+                apps, policies, trace_len=args.trace_len or 20_000
+            )
+        elif args.stage == "trace_build":
+            from .harness.microbench import trace_build_batch
+
+            outcome = trace_build_batch(
+                apps, trace_len=args.trace_len or 20_000,
+                repeats=args.repeats,
+            )
+        else:
+            print(f"unknown --stage {args.stage!r}; 'policy_build' and "
+                  "'trace_build' are available", file=sys.stderr)
+            return 2
         text = json.dumps(outcome, indent=2)
         print(text)
         if args.output:
@@ -125,6 +135,14 @@ def _render(name: str) -> str:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        # Trace-file utilities have their own subcommand tree (shared
+        # with the standalone ``repro-trace`` entry point).
+        from .tools.trace_tool import main as trace_main
+
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce the FLACK/FURBYS micro-op cache replacement "
@@ -161,7 +179,8 @@ def main(argv: list[str] | None = None) -> int:
         "--stage",
         help="bench only: time a single stage instead of full runs "
              "('policy_build': policy construction with its per-stage "
-             "breakdown, no simulation loops)",
+             "breakdown; 'trace_build': cold trace construction; "
+             "no simulation loops either way)",
     )
     parser.add_argument(
         "--policies",

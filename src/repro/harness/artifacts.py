@@ -82,6 +82,53 @@ def _store_json(path: Path, payload: dict) -> None:
         tmp.unlink(missing_ok=True)
 
 
+def load_cached_trace(
+    app: str, input_name: str, n_lookups: int, version: str
+) -> "Trace | None":
+    """Probe the disk trace cache for a generated workload trace.
+
+    Returns ``None`` on a miss, when caching is disabled, or when the
+    stored file is corrupt (corrupt entries are discarded, mirroring
+    :func:`_load_json`).
+    """
+    disk = _disk_cache_dir()
+    if disk is None:
+        return None
+    key = _digest(["trace", app, input_name, n_lookups, version])
+    path = disk / f"trace-{key}.bin"
+    if not path.exists():
+        return None
+    from ..core.trace import Trace, TraceError
+
+    try:
+        trace = Trace.load_binary(path)
+    except (OSError, TraceError):
+        path.unlink(missing_ok=True)
+        return None
+    if len(trace) != n_lookups or trace.metadata.app != app:
+        path.unlink(missing_ok=True)
+        return None
+    return trace
+
+
+def store_cached_trace(
+    trace: "Trace", app: str, input_name: str, n_lookups: int, version: str
+) -> None:
+    """Persist a generated trace in the v2 binary format (atomic)."""
+    disk = _disk_cache_dir()
+    if disk is None:
+        return
+    key = _digest(["trace", app, input_name, n_lookups, version])
+    path = disk / f"trace-{key}.bin"
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        with open(tmp, "wb") as stream:
+            trace.dump_binary(stream)
+        os.replace(tmp, path)
+    except OSError:
+        tmp.unlink(missing_ok=True)
+
+
 def profiling_geometry(
     config_name: str,
     *,

@@ -247,6 +247,7 @@ def microbench_batch(
     total_pipeline_s = sum(r.pipeline_s for r in results)
     total_reference_s = sum(r.reference_s for r in results)
     total_build_s = sum(r.policy_build_s for r in results)
+    total_trace_s = sum(r.trace_gen_s for r in results)
     total_lookups = trace_len * len(results)
     aggregate = {
         "runs": len(results),
@@ -254,7 +255,7 @@ def microbench_batch(
         "total_lookups": total_lookups,
         "total_pipeline_s": round(total_pipeline_s, 4),
         "total_reference_s": round(total_reference_s, 4),
-        "trace_gen_s": round(sum(r.trace_gen_s for r in results), 4),
+        "trace_gen_s": round(total_trace_s, 4),
         "policy_build_s": round(total_build_s, 4),
         "prepare_s": round(sum(r.prepare_s for r in results), 4),
         "policy_hooks_s": round(sum(r.policy_hooks_s for r in results), 4),
@@ -263,6 +264,11 @@ def microbench_batch(
         # lookups_per_s so one floor-style baseline guards it too.
         "policy_build_lookups_per_s": (
             round(total_lookups / total_build_s, 1) if total_build_s else None
+        ),
+        # Trace-construction throughput (cold CFG walks), same
+        # normalization again for the baseline gate.
+        "trace_build_lookups_per_s": (
+            round(total_lookups / total_trace_s, 1) if total_trace_s else None
         ),
         "speedup_vs_reference": round(total_reference_s / total_pipeline_s, 3),
         "identical_results": all(r.identical_to_reference for r in results),
@@ -344,6 +350,81 @@ def policy_build_batch(
     return {"results": results, "aggregate": aggregate}
 
 
+def trace_build_run(
+    app: str,
+    *,
+    input_name: str = "default",
+    trace_len: int = 20_000,
+    repeats: int = 3,
+) -> dict:
+    """Time cold trace construction alone, with the stage breakdown.
+
+    Bypasses both the registry cache and the disk trace cache so every
+    repeat pays the full CFG walk; ``stages`` carries the
+    :mod:`repro.stagetimer` split (``cfg_build`` / ``trace_setup`` /
+    ``trace_pilot`` / ``trace_walk``) from the best repeat.
+    """
+    profile = get_profile(app)
+    best_s = float("inf")
+    best_stages: dict = {}
+    for _ in range(max(1, repeats)):
+        with stagetimer.capture() as stages:
+            started = perf_counter()
+            build_app_trace(profile, input_name, trace_len)
+            elapsed = perf_counter() - started
+        if elapsed < best_s:
+            best_s = elapsed
+            best_stages = dict(stages)
+    return {
+        "app": app,
+        "input": input_name,
+        "trace_len": trace_len,
+        "trace_build_s": round(best_s, 4),
+        "trace_build_lookups_per_s": round(trace_len / best_s, 1),
+        "stages": {
+            stage: (round(v, 6) if isinstance(v, float) else v)
+            for stage, v in best_stages.items()
+        },
+    }
+
+
+def trace_build_batch(
+    apps: Sequence[str] = BENCH_APPS,
+    *,
+    trace_len: int = 20_000,
+    repeats: int = 3,
+) -> dict:
+    """Trace-construction-only bench (``repro bench --stage trace_build``).
+
+    Per-app cold build times plus an aggregate in the same shape
+    :func:`check_baseline` reads.
+    """
+    results = [
+        trace_build_run(app, trace_len=trace_len, repeats=repeats)
+        for app in apps
+    ]
+    total_build_s = sum(r["trace_build_s"] for r in results)
+    total_lookups = trace_len * len(results)
+    stage_totals: dict[str, float | int] = {}
+    for r in results:
+        for stage, v in r["stages"].items():
+            stage_totals[stage] = stage_totals.get(stage, 0) + v
+    aggregate = {
+        "runs": len(results),
+        "trace_len": trace_len,
+        "total_lookups": total_lookups,
+        "trace_build_s": round(total_build_s, 4),
+        "trace_build_lookups_per_s": (
+            round(total_lookups / total_build_s, 1) if total_build_s else None
+        ),
+        "stages": {
+            stage: (round(v, 4) if isinstance(v, float) else v)
+            for stage, v in stage_totals.items()
+        },
+    }
+    return {"results": results, "aggregate": aggregate}
+
+
 def profile_run(
     app: str,
     policy: str = "lru",
@@ -388,10 +469,11 @@ def check_baseline(
     shared-runner noise while still catching a real hot-path
     regression (the optimizations this guards are each >30%).
 
-    When the baseline also carries ``policy_build_lookups_per_s``, the
-    policy-construction throughput is gated by the same rule, so the
-    fast-path machinery this repo builds offline artifacts with cannot
-    silently regress either.
+    When the baseline also carries ``policy_build_lookups_per_s`` or
+    ``trace_build_lookups_per_s``, the policy-construction and
+    trace-construction throughputs are gated by the same rule, so the
+    fast-path machinery this repo builds offline artifacts and traces
+    with cannot silently regress either.
     """
     if not aggregate["identical_results"]:
         return False, "microbench: fast loop diverged from the reference loop"
@@ -420,5 +502,19 @@ def check_baseline(
         message += (
             f"; policy build {current_build:.0f} lookups/s >= floor "
             f"{build_floor:.0f}"
+        )
+    baseline_trace = baseline.get("trace_build_lookups_per_s")
+    current_trace = aggregate.get("trace_build_lookups_per_s")
+    if baseline_trace and current_trace is not None:
+        trace_floor = baseline_trace * (1.0 - tolerance)
+        if current_trace < trace_floor:
+            return False, (
+                f"microbench: trace build at {current_trace:.0f} lookups/s "
+                f"is below the regression floor {trace_floor:.0f} "
+                f"(baseline {baseline_trace:.0f} - {tolerance:.0%})"
+            )
+        message += (
+            f"; trace build {current_trace:.0f} lookups/s >= floor "
+            f"{trace_floor:.0f}"
         )
     return True, message

@@ -8,9 +8,14 @@ list to :func:`run_many` instead of looping over ``run()``:
    baselines heavily);
 2. **cache probe** — memory/disk hits are served inline in the parent;
 3. **fan-out** — the remaining cold runs are grouped by
-   ``(app, input, trace_len)`` so one worker re-derives each trace (and
-   any FURBYS/Thermometer profile) once, then executed on a
-   :class:`~concurrent.futures.ProcessPoolExecutor`;
+   ``(app, input, trace_len)`` so each trace is materialized once: the
+   parent builds (or disk-loads) it, publishes the packed columns via
+   ``multiprocessing.shared_memory``, and workers on the
+   :class:`~concurrent.futures.ProcessPoolExecutor` copy the columns
+   straight out of the segment instead of regenerating the trace or
+   unpickling tens of thousands of ``PWLookup`` objects (with
+   ``REPRO_TRACE_FASTPATH=0``, or if shared memory is unavailable,
+   workers re-derive traces as before);
 4. **write-back** — worker results are stored into both cache layers in
    the parent, so memoization semantics are unchanged.
 
@@ -40,7 +45,11 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from ..core.stats import SimulationStats
+from ..core.trace import Trace, TraceColumns, TraceMetadata, trace_fastpath_enabled
 from .runner import RunRequest, _memory_cache, cached_stats, run, store_stats
+
+#: (app, input, trace_len) -> (shm name, n_lookups, metadata fields).
+TraceDescriptors = dict[tuple[str, str, int], tuple[str, int, tuple]]
 
 __all__ = [
     "BatchExecutionError",
@@ -116,15 +125,124 @@ def _chunk_cold_requests(
     return chunks
 
 
-def _simulate_chunk(requests: list[RunRequest]) -> list[tuple[str, object]]:
+def _export_traces(
+    cold: Sequence[RunRequest],
+) -> tuple[TraceDescriptors, list]:
+    """Build each distinct cold trace once and stage it in shared memory.
+
+    The parent pays generation (or a disk-cache load) for each distinct
+    ``(app, input, trace_len)`` and publishes the packed columns as one
+    ``multiprocessing.shared_memory`` segment, so workers copy columns
+    out of the segment instead of re-deriving 45k ``PWLookup`` objects
+    per chunk.  Any ``OSError`` (e.g. ``/dev/shm`` unavailable) degrades
+    silently to the old regenerate-in-worker behaviour — the disk trace
+    cache usually still absorbs it.
+
+    Returns the descriptors plus the open segments; the caller must
+    close and unlink the segments once the pool has drained.
+    """
+    descriptors: TraceDescriptors = {}
+    segments: list = []
+    if not trace_fastpath_enabled():
+        return descriptors, segments
+    try:
+        from multiprocessing import shared_memory
+    except ImportError:  # pragma: no cover - stdlib always has it
+        return descriptors, segments
+    from ..workloads.registry import get_trace
+
+    keys = {
+        (request.app, request.input_name, request.resolved_trace_len())
+        for request in cold
+    }
+    for app, input_name, trace_len in sorted(keys):
+        trace = get_trace(app, input_name, trace_len)
+        columns = trace.columns
+        payload = columns.to_payload()
+        if not payload:
+            continue
+        try:
+            segment = shared_memory.SharedMemory(create=True, size=len(payload))
+        except OSError:
+            continue
+        segment.buf[: len(payload)] = payload
+        segments.append(segment)
+        meta = trace.metadata
+        descriptors[(app, input_name, trace_len)] = (
+            segment.name,
+            len(columns),
+            (meta.app, meta.input_name, meta.seed, meta.description),
+        )
+    return descriptors, segments
+
+
+def _release_segments(segments: list) -> None:
+    for segment in segments:
+        try:
+            segment.close()
+            segment.unlink()
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+
+def _attach_traces(descriptors: TraceDescriptors) -> None:
+    """Worker side: copy shared-memory traces into the registry cache.
+
+    Under the default ``fork`` start method the parent's trace cache is
+    inherited and seeding is a no-op; under ``spawn`` (or after a cache
+    clear) this is what saves regeneration.  A missing/renamed segment
+    just falls back to normal generation.
+    """
+    if not descriptors:
+        return
+    from multiprocessing import resource_tracker, shared_memory
+
+    from ..workloads.registry import seed_trace_cache
+
+    def _no_register(name: str, rtype: str) -> None:
+        # Python <= 3.12 SharedMemory registers even plain attaches with
+        # the resource tracker, which double-books segments the parent
+        # owns (and, under spawn, unlinks them when this worker exits).
+        if rtype != "shared_memory":  # pragma: no cover - only shm here
+            _register(name, rtype)
+
+    for (app, input_name, trace_len), (name, n, meta) in descriptors.items():
+        _register = resource_tracker.register
+        resource_tracker.register = _no_register
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except (OSError, ValueError):
+            continue
+        finally:
+            resource_tracker.register = _register
+        try:
+            columns = TraceColumns.from_payload(segment.buf, n)
+        except Exception:
+            segment.close()
+            continue
+        segment.close()
+        trace = Trace(columns=columns, metadata=TraceMetadata(*meta))
+        seed_trace_cache(app, input_name, trace_len, trace)
+
+
+def _simulate_chunk(
+    requests: list[RunRequest],
+    trace_descriptors: TraceDescriptors | None = None,
+) -> list[tuple[str, object]]:
     """Worker entry point: run each request, never raise.
 
-    Runs inside a pool process; traces/profiles are rebuilt there from
-    the request (they are deterministic) and cached per worker, so
-    same-app requests grouped onto this worker pay trace generation
-    once.  Exceptions are shipped back as formatted text so the parent
-    can attach the offending request.
+    Runs inside a pool process; traces arrive over shared memory (see
+    :func:`_export_traces`) when available, otherwise they are rebuilt
+    from the request (they are deterministic) and cached per worker, so
+    same-app requests grouped onto this worker pay trace construction
+    at most once.  Exceptions are shipped back as formatted text so the
+    parent can attach the offending request.
     """
+    if trace_descriptors:
+        try:
+            _attach_traces(trace_descriptors)
+        except Exception:
+            pass  # sharing is an optimization; generation still works
     out: list[tuple[str, object]] = []
     for request in requests:
         try:
@@ -190,15 +308,24 @@ def run_batch(
     elif cold:
         chunks = _chunk_cold_requests([request for _, request in cold], jobs)
         report.chunks = len(chunks)
-        with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
-            futures = {pool.submit(_simulate_chunk, chunk): chunk for chunk in chunks}
-            for future in as_completed(futures):
-                for request, (status, payload) in zip(futures[future], future.result()):
-                    if status == "err":
-                        raise BatchExecutionError(request, str(payload))
-                    key = request.cache_key()
-                    store_stats(request, payload, key)
-                    results[key] = payload
+        descriptors, segments = _export_traces([request for _, request in cold])
+        try:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
+                futures = {
+                    pool.submit(_simulate_chunk, chunk, descriptors): chunk
+                    for chunk in chunks
+                }
+                for future in as_completed(futures):
+                    for request, (status, payload) in zip(
+                        futures[future], future.result()
+                    ):
+                        if status == "err":
+                            raise BatchExecutionError(request, str(payload))
+                        key = request.cache_key()
+                        store_stats(request, payload, key)
+                        results[key] = payload
+        finally:
+            _release_segments(segments)
 
     report.elapsed_s = time.perf_counter() - started
     _last_report = report

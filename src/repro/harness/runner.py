@@ -30,7 +30,7 @@ from ..policies.furbys import FurbysPolicy
 from ..policies.thermometer import ThermometerPolicy
 from ..profiling import FurbysProfile, profile_application
 from ..profiling.hitrate import three_class_profile
-from ..workloads.registry import DEFAULT_TRACE_LEN, get_trace
+from ..workloads.registry import DEFAULT_TRACE_LEN, clear_trace_cache, get_trace
 from .artifacts import (
     _disk_cache_dir,
     clear_artifact_caches,
@@ -146,6 +146,7 @@ def clear_memory_cache() -> None:
     _profile_cache.clear()
     _thermo_cache.clear()
     clear_artifact_caches()
+    clear_trace_cache()
 
 
 # --- policy construction -----------------------------------------------------

@@ -99,13 +99,24 @@ class ColumnarFutureIndex:
     def __init__(self, trace: Trace, identity: IdentityMode) -> None:
         key_fn = identity.key_fn()
         self._key_fn = key_fn
-        lookups = trace.lookups
-        n = len(lookups)
+        # Packed traces yield the key stream straight from the columns
+        # (ints for START, (start, uops) tuples for EXACT — the same
+        # values key_fn computes), skipping PWLookup materialization.
+        if trace.has_columns():
+            columns = trace.columns
+            n = len(columns)
+            if identity is IdentityMode.START:
+                keys = iter(columns.starts)
+            else:
+                keys = zip(columns.starts, columns.uops)
+        else:
+            lookups = trace.lookups
+            n = len(lookups)
+            keys = map(key_fn, lookups)
         ids = np.empty(n, dtype=np.int64)
         key_id: dict[Hashable, int] = {}
         next_id = 0
-        for t, pw in enumerate(lookups):
-            k = key_fn(pw)
+        for t, k in enumerate(keys):
             i = key_id.get(k)
             if i is None:
                 i = key_id[k] = next_id

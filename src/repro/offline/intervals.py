@@ -41,7 +41,7 @@ import numpy as np
 from .. import stagetimer
 from ..config import UopCacheConfig
 from ..core.pw import PWLookup
-from ..core.trace import Trace
+from ..core.trace import Trace, callable_token
 
 
 class IdentityMode(Enum):
@@ -169,8 +169,11 @@ def _set_timeline(
         set_ids: list[int] = []
         slot_of: list[int] = []
         slot_counts = [0] * n_sets
-        for pw in trace.lookups:
-            start = pw.start
+        starts = (
+            trace.columns.starts if trace.has_columns()
+            else (pw.start for pw in trace.lookups)
+        )
+        for start in starts:
             s = set_of.get(start)
             if s is None:
                 s = set_of[start] = set_index_fn(start, n_sets)
@@ -179,7 +182,9 @@ def _set_timeline(
             slot_counts[s] += 1
         return set_ids, slot_of, slot_counts
 
-    return trace.memo(("set_timeline", n_sets, set_index_fn), build)
+    return trace.memo(
+        ("set_timeline", n_sets, callable_token(set_index_fn)), build
+    )
 
 
 def _extract_intervals_columnar(
@@ -228,9 +233,13 @@ def _extract_intervals_columnar(
     # interval_value / PWLookup.size, broadcast over all pairs).
     uops = trace.memo(
         ("uops_arr",),
-        lambda: np.fromiter(
-            (pw.uops for pw in trace.lookups), dtype=np.int64,
-            count=len(trace.lookups),
+        lambda: (
+            np.asarray(trace.columns.uops).astype(np.int64)
+            if trace.has_columns()
+            else np.fromiter(
+                (pw.uops for pw in trace.lookups), dtype=np.int64,
+                count=len(trace.lookups),
+            )
         ),
     )
     stored_uops = uops[starts]
@@ -289,7 +298,7 @@ def shared_intervals(
         with stagetimer.timed("intervals"):
             return extract_intervals(trace, config, **kwargs)
     key = (
-        "intervals", identity, metric, set_index_fn, min_gap,
+        "intervals", identity, metric, callable_token(set_index_fn), min_gap,
         config.sets, config.ways, config.uops_per_entry,
     )
 

@@ -1,4 +1,4 @@
-"""``repro-trace`` — generate, inspect and summarize PW traces.
+"""``repro-trace`` / ``repro trace`` — generate, inspect and convert PW traces.
 
 Subcommands::
 
@@ -6,10 +6,15 @@ Subcommands::
     repro-trace stats out.trace
     repro-trace head out.trace --count 20
     repro-trace apps
+    repro trace inspect out.trace          # metadata + totals, any format
+    repro trace convert out.trace out.bin  # v1 text <-> v2 binary
+    repro trace gen kafka out.bin --format v2
 
-Traces use the line-oriented v1 text format of
-:mod:`repro.core.trace`, so they diff and compress well and can be fed
-back through :meth:`repro.core.trace.Trace.load` for custom studies.
+Traces come in two formats (see :mod:`repro.core.trace`): the
+line-oriented v1 text format, which diffs and compresses well, and the
+struct-packed v2 binary format the disk trace cache uses (~10x smaller,
+loads without parsing).  Reading commands sniff the format from the
+file's magic; ``convert`` translates between them losslessly.
 """
 
 from __future__ import annotations
@@ -17,11 +22,18 @@ from __future__ import annotations
 import argparse
 import sys
 from collections import Counter
+from pathlib import Path
 
-from ..core.trace import Trace
+from ..core.trace import BINARY_MAGIC, Trace
 from ..workloads.apps import app_names, get_profile
 from ..workloads.generator import reuse_distance_tail
 from ..workloads.registry import available_inputs, get_trace
+
+
+def _trace_format(path: str) -> str:
+    """``"v2"`` when the file carries the binary magic, else ``"v1"``."""
+    with open(path, "rb") as stream:
+        return "v2" if stream.read(len(BINARY_MAGIC)) == BINARY_MAGIC else "v1"
 
 
 def _cmd_apps(_: argparse.Namespace) -> int:
@@ -42,7 +54,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_head(args: argparse.Namespace) -> int:
-    trace = Trace.load(args.trace)
+    trace = Trace.load_any(args.trace)
     print("start        uops insts bytes branch mispred")
     for lookup in trace.lookups[: args.count]:
         print(f"{lookup.start:#010x}  {lookup.uops:4d} {lookup.insts:5d} "
@@ -62,7 +74,7 @@ def _histogram(counter: Counter, *, width: int = 40) -> list[str]:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    trace = Trace.load(args.trace)
+    trace = Trace.load_any(args.trace)
     meta = trace.metadata
     insts = trace.total_instructions
     print(f"app={meta.app} input={meta.input_name} seed={meta.seed}")
@@ -83,6 +95,50 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         tail = reuse_distance_tail(sample, threshold=30)
         print(f"reuse distance > 30 (first {len(sample)} lookups): "
               f"{tail * 100:.1f}% of reuses")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    fmt = _trace_format(args.trace)
+    trace = Trace.load_any(args.trace)
+    meta = trace.metadata
+    insts = trace.total_instructions
+    size = Path(args.trace).stat().st_size
+    print(f"format             : {'v2 binary' if fmt == 'v2' else 'v1 text'} "
+          f"({size} bytes)")
+    print(f"app={meta.app} input={meta.input_name} seed={meta.seed}")
+    if meta.description:
+        print(f"description        : {meta.description}")
+    print(f"lookups            : {len(trace)}")
+    print(f"micro-ops          : {trace.total_uops}")
+    print(f"instructions       : {insts}")
+    print(f"branch PWs         : {trace.total_branches}")
+    print(f"mispredict MPKI    : "
+          f"{1000 * trace.total_mispredictions / max(1, insts):.2f}")
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    source = _trace_format(args.trace)
+    target = args.to or ("v1" if source == "v2" else "v2")
+    trace = Trace.load_any(args.trace)
+    if target == "v2":
+        trace.save_binary(args.output)
+    else:
+        trace.save(args.output)
+    print(f"converted {len(trace)} lookups: {args.trace} ({source}) -> "
+          f"{args.output} ({target})")
+    return 0
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    trace = get_trace(args.app, args.input, args.lookups)
+    if args.format == "v2":
+        trace.save_binary(args.output)
+    else:
+        trace.save(args.output)
+    print(f"wrote {len(trace)} lookups ({trace.total_uops} uops) "
+          f"to {args.output} ({args.format})")
     return 0
 
 
@@ -110,12 +166,37 @@ def main(argv: list[str] | None = None) -> int:
     stats.add_argument("--reuse", action="store_true",
                        help="also compute the reuse-distance tail (slow)")
 
+    inspect = commands.add_parser(
+        "inspect", help="metadata + totals of a trace file (any format)"
+    )
+    inspect.add_argument("trace")
+
+    convert = commands.add_parser(
+        "convert", help="translate a trace between v1 text and v2 binary"
+    )
+    convert.add_argument("trace")
+    convert.add_argument("output")
+    convert.add_argument("--to", choices=("v1", "v2"), default=None,
+                         help="target format (default: the other one)")
+
+    gen = commands.add_parser(
+        "gen", help="export a workload trace to disk"
+    )
+    gen.add_argument("app")
+    gen.add_argument("output")
+    gen.add_argument("--input", default="default")
+    gen.add_argument("--lookups", type=int, default=None)
+    gen.add_argument("--format", choices=("v1", "v2"), default="v2")
+
     args = parser.parse_args(argv)
     handlers = {
         "apps": _cmd_apps,
         "generate": _cmd_generate,
         "head": _cmd_head,
         "stats": _cmd_stats,
+        "inspect": _cmd_inspect,
+        "convert": _cmd_convert,
+        "gen": _cmd_gen,
     }
     return handlers[args.command](args)
 

@@ -26,10 +26,26 @@ import math
 import random
 from dataclasses import dataclass
 
+from .. import stagetimer
 from ..core.pw import PWLookup
-from ..core.trace import Trace, TraceMetadata
+from ..core.trace import (
+    FLAG_CONTAINS,
+    FLAG_MISPREDICTED,
+    FLAG_TERMINATED,
+    Trace,
+    TraceColumns,
+    TraceMetadata,
+    trace_fastpath_enabled,
+)
 from ..errors import ConfigurationError
 from .cfg import BasicBlock, ProgramCFG
+
+#: Version of the generation algorithm.  Any change that alters the
+#: emitted lookup sequence for a given (CFG, parameters) pair must bump
+#: this — it keys the disk trace cache
+#: (:func:`repro.harness.artifacts.load_cached_trace`), so a stale
+#: cached trace can never masquerade as a regenerated one.
+GENERATOR_VERSION = "1"
 
 
 class _TraceComplete(Exception):
@@ -363,15 +379,144 @@ class TraceGenerator:
         rank = bisect.bisect_left(self._zipf_cdf, self._rng.random())
         return min(rank, len(self._zipf_cdf) - 1)
 
+    def _run_function_cols(self, findex: int, depth: int) -> None:
+        """Columnar fast-path twin of :meth:`_run_function`.
+
+        Identical control flow and RNG consumption order (the property
+        tests and ``scripts/bench_trace_engine.py`` assert the emitted
+        sequences match), but windows append straight into the packed
+        columns and the pending window lives in locals — valid because
+        a function always enters and exits with an empty pending window
+        (every exit path flushes it).  :meth:`_consume_block`,
+        :meth:`_emit` and :meth:`_periodic_outcome` are inlined; any
+        behavioural change there must be mirrored here.
+        """
+        function = self._cfg.functions[findex]
+        blocks = function.blocks
+        n_blocks = len(blocks)
+        segments = self._block_segments[findex]
+        mis_rates = self._block_mis_rate[findex]
+        rng_random = self._rng.random
+        outcome_acc = self._outcome_acc
+        acc_get = outcome_acc.get
+        max_depth = self.MAX_CALL_DEPTH
+        recurse = self._run_function_cols
+        columns = self._columns
+        starts_col = columns.starts
+        uops_col = columns.uops
+        insts_col = columns.insts
+        bytes_col = columns.bytes_len
+        flags_col = columns.flags
+        limit = self._limit
+
+        p_start = -1
+        p_line = -1
+        p_uops = 0
+        p_insts = 0
+        p_end = 0
+        p_branch = False
+
+        def emit(terminated: bool, mispredicted: bool) -> None:
+            nonlocal p_start, p_line, p_uops, p_insts, p_end, p_branch
+            if p_start < 0:
+                return
+            starts_col.append(p_start)
+            uops_col.append(p_uops)
+            insts_col.append(p_insts)
+            span = p_end - p_start
+            bytes_col.append(span if span > 0 else 1)
+            if terminated:
+                flags = FLAG_TERMINATED | FLAG_CONTAINS
+            elif p_branch:
+                flags = FLAG_CONTAINS
+            else:
+                flags = 0
+            if mispredicted:
+                flags |= FLAG_MISPREDICTED
+            flags_col.append(flags)
+            p_start = -1
+            p_line = -1
+            p_uops = 0
+            p_insts = 0
+            p_end = 0
+            p_branch = False
+            if len(starts_col) >= limit:
+                raise _TraceComplete
+
+        p_continue = 1.0 - 1.0 / max(1.0, function.mean_iterations)
+        iterating = True
+        while iterating:
+            i = 0
+            while i < n_blocks:
+                block = blocks[i]
+                # _consume_block, inlined over the pending locals.
+                for seg_start, uops, insts, seg_end, line in segments[i]:
+                    if p_start < 0:
+                        p_start = seg_start
+                        p_line = line
+                    elif line != p_line:
+                        emit(False, False)
+                        p_start = seg_start
+                        p_line = line
+                    p_uops += uops
+                    p_insts += insts
+                    p_end = seg_end
+                p_branch = True
+                mispredicted = rng_random() < mis_rates[i]
+                # Call edge; _periodic_outcome inlined (short-circuit
+                # order preserved: the accumulator only advances when
+                # the callee/depth guard passes).
+                if block.callee >= 0 and depth < max_depth:
+                    key = block.addr ^ 0x1
+                    acc = acc_get(key, 0.5) + block.call_bias
+                    if acc >= 1.0:
+                        outcome_acc[key] = acc - 1.0
+                        emit(True, mispredicted)
+                        recurse(block.callee, depth + 1)
+                        i += 1
+                        continue
+                    outcome_acc[key] = acc
+                if i == n_blocks - 1:
+                    iterating = rng_random() < p_continue
+                    emit(True, mispredicted)
+                    break
+                key = block.addr
+                acc = acc_get(key, 0.5) + block.taken_bias
+                if acc >= 1.0:
+                    outcome_acc[key] = acc - 1.0
+                    emit(True, mispredicted)
+                    # The skip accumulator always advances, even when
+                    # the i+2 bound forbids the skip (reference
+                    # evaluates _periodic_outcome first).
+                    key = block.addr ^ 0x2
+                    acc = acc_get(key, 0.5) + block.skip_bias
+                    if acc >= 1.0:
+                        outcome_acc[key] = acc - 1.0
+                        if i + 2 < n_blocks:
+                            i += 2
+                        else:
+                            i += 1
+                    else:
+                        outcome_acc[key] = acc
+                        i += 1
+                else:
+                    outcome_acc[key] = acc
+                    i += 1
+            else:
+                iterating = False
+
     def _reset_walk(self) -> None:
         self._rng = random.Random(self._seed)
         self._outcome_acc.clear()
         self._lookups = []
+        self._columns = TraceColumns()
         self._pending.reset()
         self._loop_cursor = 0
 
-    def _walk(self, n_lookups: int) -> None:
+    def _walk(self, n_lookups: int, fast: bool = False) -> None:
         self._limit = n_lookups
+        run = self._run_function_cols if fast else self._run_function
+        columns = self._columns
         try:
             # Startup sweep: initialization code touches every function
             # once (in a shuffled order), so first-touch cold misses
@@ -379,10 +524,11 @@ class TraceGenerator:
             order = list(range(len(self._cfg.functions)))
             random.Random(self._rng.random()).shuffle(order)
             for findex in order:
-                self._run_function(findex, depth=self.MAX_CALL_DEPTH)
+                run(findex, self.MAX_CALL_DEPTH)
             while True:
-                findex = self._pick_function(len(self._lookups))
-                self._run_function(findex, depth=0)
+                emitted = len(columns) if fast else len(self._lookups)
+                findex = self._pick_function(emitted)
+                run(findex, 0)
         except _TraceComplete:
             pass
 
@@ -393,23 +539,36 @@ class TraceGenerator:
         walk first measures the dynamic misprediction rate (the static
         calibration cannot see hotness skew) and rescales the per-branch
         rates before the real walk.
+
+        On the fast path (the default) windows are emitted straight
+        into packed :class:`~repro.core.trace.TraceColumns`;
+        ``REPRO_TRACE_FASTPATH=0`` restores the reference object-list
+        emission.  Both paths produce identical lookup sequences.
         """
         if n_lookups <= 0:
             raise ConfigurationError("n_lookups must be positive")
+        fast = trace_fastpath_enabled()
         if self._target_mpki is not None and self._target_mpki > 0:
-            for _ in range(2):  # two passes converge well within tolerance
-                self._reset_walk()
-                self._walk(min(n_lookups, 12000))
-                pilot = Trace(self._lookups)
-                measured = 1000.0 * pilot.total_mispredictions / max(
-                    1, pilot.total_instructions
-                )
-                if measured > 0:
-                    factor = self._target_mpki / measured
-                    self._mispredict_mult *= min(20.0, max(0.05, factor))
-                    self._refresh_mis_rates()
-        self._reset_walk()
-        self._walk(n_lookups)
+            with stagetimer.timed("trace_pilot"):
+                for _ in range(2):  # two passes converge well within tolerance
+                    self._reset_walk()
+                    self._walk(min(n_lookups, 12000), fast)
+                    if fast:
+                        _, insts, _, mispredictions = self._columns.totals()
+                    else:
+                        pilot = Trace(self._lookups)
+                        insts = pilot.total_instructions
+                        mispredictions = pilot.total_mispredictions
+                    measured = 1000.0 * mispredictions / max(1, insts)
+                    if measured > 0:
+                        factor = self._target_mpki / measured
+                        self._mispredict_mult *= min(20.0, max(0.05, factor))
+                        self._refresh_mis_rates()
+        with stagetimer.timed("trace_walk"):
+            self._reset_walk()
+            self._walk(n_lookups, fast)
+        if fast:
+            return Trace(columns=self._columns, metadata=metadata or TraceMetadata())
         return Trace(self._lookups, metadata or TraceMetadata())
 
 
