@@ -12,6 +12,8 @@ Examples::
     repro bench --stage policy_build   # policy construction only
     repro bench --stage trace_build    # trace construction only
     repro bench --profile      # cProfile one cold run
+    repro bench --chaos        # fault-injection smoke (crash/hang/corrupt)
+    repro fig8 --on-error skip # keep partial results on worker failures
     repro trace inspect t.bin  # trace files: inspect / convert / gen
     repro all                  # everything (long)
 """
@@ -25,13 +27,15 @@ import sys
 import time
 
 from .harness.experiments import EXPERIMENTS
-from .harness.reporting import bar_chart, format_batch_report, format_table
+from .harness.reporting import (
+    bar_chart, format_batch_report, format_failure, format_table,
+)
 
 
 def _bench(args: argparse.Namespace) -> int:
     """Time a representative cold batch serial vs. parallel."""
     from .harness.bench import (
-        BENCH_APPS, BENCH_POLICIES, compare_serial_parallel,
+        BENCH_APPS, BENCH_POLICIES, chaos_smoke, compare_serial_parallel,
         representative_requests,
     )
 
@@ -39,6 +43,23 @@ def _bench(args: argparse.Namespace) -> int:
     policies = (
         tuple(args.policies.split(",")) if args.policies else BENCH_POLICIES
     )
+
+    if args.chaos:
+        kwargs = {}
+        if args.apps:
+            kwargs["apps"] = apps
+        if args.policies:
+            kwargs["policies"] = policies
+        if args.trace_len:
+            kwargs["trace_len"] = args.trace_len
+        if args.jobs:
+            kwargs["jobs"] = args.jobs
+        if args.timeout:
+            kwargs["timeout_s"] = args.timeout
+        outcome = chaos_smoke(**kwargs)
+        print(json.dumps(outcome, indent=2))
+        ok = outcome["identical_results"] and outcome["faults_accounted"]
+        return 0 if ok else 1
 
     if args.profile:
         from .harness.microbench import profile_run
@@ -167,9 +188,26 @@ def main(argv: list[str] | None = None) -> int:
              "1 = serial, default REPRO_JOBS or the machine's cpu count)",
     )
     parser.add_argument(
+        "--on-error", choices=("raise", "skip", "retry"),
+        help="batch failure mode (sets REPRO_ON_ERROR): raise = fail fast, "
+             "skip = keep partial results, retry = retry transient faults",
+    )
+    parser.add_argument(
+        "--timeout", type=float,
+        help="per-chunk timeout in seconds for parallel batches "
+             "(sets REPRO_TIMEOUT_S; hung workers are terminated and the "
+             "chunk is retried/rerouted)",
+    )
+    parser.add_argument(
         "--micro", action="store_true",
         help="bench only: per-stage single-run microbenchmark "
              "(trace gen / policy build / prepare / pipeline / hooks)",
+    )
+    parser.add_argument(
+        "--chaos", action="store_true",
+        help="bench only: fault-injection smoke — inject a worker crash, "
+             "a hang and a corrupt cache artifact into a batch and verify "
+             "bit-identical results vs a clean serial run",
     )
     parser.add_argument(
         "--profile", action="store_true",
@@ -211,6 +249,10 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_TRACE_LEN"] = str(args.trace_len)
     if args.jobs:
         os.environ["REPRO_JOBS"] = str(args.jobs)
+    if args.on_error:
+        os.environ["REPRO_ON_ERROR"] = args.on_error
+    if args.timeout:
+        os.environ["REPRO_TIMEOUT_S"] = str(args.timeout)
 
     if args.experiment == "bench":
         return _bench(args)
@@ -218,16 +260,23 @@ def main(argv: list[str] | None = None) -> int:
         for name in EXPERIMENTS:
             print(name)
         return 0
-    if args.experiment == "all":
-        for name in EXPERIMENTS:
-            print(_render(name))
-            print()
-        return 0
-    if args.experiment not in EXPERIMENTS:
-        print(f"unknown experiment {args.experiment!r}; try 'repro list'",
-              file=sys.stderr)
-        return 2
-    print(_render(args.experiment))
+
+    from .harness.parallel import BatchExecutionError
+
+    try:
+        if args.experiment == "all":
+            for name in EXPERIMENTS:
+                print(_render(name))
+                print()
+            return 0
+        if args.experiment not in EXPERIMENTS:
+            print(f"unknown experiment {args.experiment!r}; try 'repro list'",
+                  file=sys.stderr)
+            return 2
+        print(_render(args.experiment))
+    except BatchExecutionError as exc:
+        print(format_failure(exc), file=sys.stderr)
+        return 1
     return 0
 
 

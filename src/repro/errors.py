@@ -46,3 +46,27 @@ class ProfilingError(ReproError):
     Raised, for example, when hints are requested before the profiling
     steps that produce them have run.
     """
+
+
+class ArtifactError(ReproError):
+    """A cached on-disk artifact failed validation.
+
+    Raised by the quarantine path in :mod:`repro.harness.artifacts` when
+    a disk-cache entry (simulation stats, profiling hit-stats/profile
+    JSON, or a v2 binary trace) is corrupt, truncated, or fails its
+    checksum.  Callers treat it as a cache miss: the offending file is
+    renamed to ``*.corrupt`` (never silently deleted) and the artifact
+    is recomputed, with the event counted in the resilience fallback
+    counters (:func:`repro.harness.resilience.global_counters`).
+    """
+
+
+class FaultInjectionError(ReproError):
+    """An error deliberately raised by the fault-injection harness.
+
+    Only ever raised when ``REPRO_FAULT_SPEC`` arms
+    :mod:`repro.faultinject`; classified as *retryable* by
+    :class:`repro.harness.resilience.RetryPolicy`, so injected faults
+    exercise exactly the retry machinery that real transient failures
+    would.
+    """

@@ -21,18 +21,34 @@ Keys hash everything that shapes the artifact: the training trace
 identity ``(app, input, trace_len)``, the offline decision ``source``,
 and the cache geometry (config preset plus every uop-cache override);
 profiles additionally include the hint parameters ``(n_bits, scope)``.
+
+Every artifact is integrity-checked on load: JSON entries embed a
+``sha256`` over their canonical payload, binary traces get a
+``*.sha256`` sidecar over the file bytes.  A corrupt, truncated or
+checksum-failing entry is **quarantined** — renamed to ``*.corrupt``
+for post-mortem instead of silently deleted — via an internal
+:class:`~repro.errors.ArtifactError`, counted in the resilience
+fallback counters, and treated as a cache miss so the artifact is
+recomputed.  Failed disk writes are likewise counted (``disk_write``)
+rather than silently swallowed.  :mod:`repro.faultinject` hooks the
+load paths so the chaos suite can corrupt a named artifact kind on
+demand.
 """
 
 from __future__ import annotations
 
 import hashlib
+import io
 import json
 import os
 from pathlib import Path
 
+from .. import faultinject
 from ..config import SimulationConfig
+from ..errors import ArtifactError
 from ..profiling.pipeline import FurbysProfile, profile_application
 from ..workloads.registry import get_trace
+from . import resilience
 
 #: start -> (uops hit, uops requested) over the whole profiling replay.
 HitStats = dict[int, tuple[int, int]]
@@ -64,22 +80,81 @@ def _digest(payload: object) -> str:
     return hashlib.sha256(text.encode()).hexdigest()[:24]
 
 
-def _load_json(path: Path) -> dict | None:
-    """Read a disk entry; corrupt/truncated files are discarded."""
+def _payload_checksum(payload: dict) -> str:
+    """Canonical sha256 over a JSON payload, excluding the checksum field."""
+    canonical = json.dumps(
+        {k: v for k, v in payload.items() if k != "sha256"}, sort_keys=True
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def quarantine(path: Path, reason: str) -> ArtifactError:
+    """Set a corrupt artifact aside (``*.corrupt``) and account for it.
+
+    Returns the :class:`~repro.errors.ArtifactError` describing the
+    event so load paths can ``raise quarantine(...)`` and probe paths
+    can swallow it as a counted cache miss.  The file is renamed, never
+    deleted, so a corruption bug leaves evidence behind.
+    """
+    target = path.with_name(path.name + ".corrupt")
     try:
-        return json.loads(path.read_text())
-    except (OSError, ValueError):
-        path.unlink(missing_ok=True)
+        os.replace(path, target)
+    except OSError:
+        path_note = f"{path} (rename to {target.name} failed)"
+    else:
+        path_note = f"{path} (quarantined as {target.name})"
+    resilience.note_fallback("corrupt_artifact")
+    return ArtifactError(f"corrupt artifact at {path_note}: {reason}")
+
+
+def load_validated_json(path: Path, kind: str) -> dict:
+    """Read and integrity-check one JSON artifact.
+
+    Raises :class:`~repro.errors.ArtifactError` (after quarantining the
+    file) for unreadable, unparseable or checksum-failing entries.
+    Entries written before checksums carry no ``sha256`` field and are
+    accepted as-is.
+    """
+    faultinject.maybe_corrupt_artifact(path, kind)
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise ArtifactError(f"unreadable {kind} artifact {path}: {exc}") from exc
+    try:
+        # UnicodeDecodeError is a ValueError: garbage bytes quarantine too.
+        payload = json.loads(data.decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("payload is not a JSON object")
+    except ValueError as exc:
+        raise quarantine(path, f"invalid JSON ({exc})") from exc
+    expected = payload.get("sha256")
+    if expected is not None and _payload_checksum(payload) != expected:
+        raise quarantine(path, f"{kind} checksum mismatch")
+    return payload
+
+
+def probe_json(path: Path, kind: str) -> dict | None:
+    """Validated read of a cache entry; corrupt entries become misses."""
+    try:
+        return load_validated_json(path, kind)
+    except ArtifactError:
         return None
 
 
 def _store_json(path: Path, payload: dict) -> None:
+    payload = dict(payload)
+    payload["sha256"] = _payload_checksum(payload)
     tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
     try:
         tmp.write_text(json.dumps(payload))
         os.replace(tmp, path)
     except OSError:
+        resilience.note_fallback("disk_write")
         tmp.unlink(missing_ok=True)
+
+
+def _trace_sidecar(path: Path) -> Path:
+    return path.with_name(path.name + ".sha256")
 
 
 def load_cached_trace(
@@ -87,9 +162,11 @@ def load_cached_trace(
 ) -> "Trace | None":
     """Probe the disk trace cache for a generated workload trace.
 
-    Returns ``None`` on a miss, when caching is disabled, or when the
-    stored file is corrupt (corrupt entries are discarded, mirroring
-    :func:`_load_json`).
+    Returns ``None`` on a miss or when caching is disabled.  A stored
+    file that is truncated, unparseable, fails its ``*.sha256`` sidecar
+    checksum, or disagrees with the requested identity is quarantined
+    (renamed to ``*.corrupt``) and treated as a miss; sidecar-less
+    files from before checksumming are validated structurally only.
     """
     disk = _disk_cache_dir()
     if disk is None:
@@ -100,13 +177,28 @@ def load_cached_trace(
         return None
     from ..core.trace import Trace, TraceError
 
+    faultinject.maybe_corrupt_artifact(path, "trace")
     try:
-        trace = Trace.load_binary(path)
-    except (OSError, TraceError):
-        path.unlink(missing_ok=True)
+        data = path.read_bytes()
+    except OSError:
         return None
-    if len(trace) != n_lookups or trace.metadata.app != app:
-        path.unlink(missing_ok=True)
+    sidecar = _trace_sidecar(path)
+    try:
+        expected = sidecar.read_text().strip()
+    except OSError:
+        expected = None
+    try:
+        if expected and hashlib.sha256(data).hexdigest() != expected:
+            raise ArtifactError("binary trace checksum mismatch")
+        trace = Trace.parse_binary(io.BytesIO(data))
+        if len(trace) != n_lookups or trace.metadata.app != app:
+            raise ArtifactError(
+                f"binary trace identity mismatch (app={trace.metadata.app!r}, "
+                f"n={len(trace)}, expected app={app!r}, n={n_lookups})"
+            )
+    except (ArtifactError, TraceError) as exc:
+        quarantine(path, str(exc))
+        sidecar.unlink(missing_ok=True)
         return None
     return trace
 
@@ -114,7 +206,13 @@ def load_cached_trace(
 def store_cached_trace(
     trace: "Trace", app: str, input_name: str, n_lookups: int, version: str
 ) -> None:
-    """Persist a generated trace in the v2 binary format (atomic)."""
+    """Persist a generated trace in the v2 binary format (atomic).
+
+    The file bytes are checksummed into a ``*.sha256`` sidecar so
+    :func:`load_cached_trace` can detect bit-rot that still parses.
+    A failed write is counted (``disk_write``) and leaves no partial
+    entry behind.
+    """
     disk = _disk_cache_dir()
     if disk is None:
         return
@@ -122,10 +220,17 @@ def store_cached_trace(
     path = disk / f"trace-{key}.bin"
     tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
     try:
-        with open(tmp, "wb") as stream:
-            trace.dump_binary(stream)
+        buffer = io.BytesIO()
+        trace.dump_binary(buffer)
+        data = buffer.getvalue()
+        tmp.write_bytes(data)
         os.replace(tmp, path)
+        sidecar = _trace_sidecar(path)
+        sidecar_tmp = sidecar.with_name(f"{sidecar.name}.{os.getpid()}.tmp")
+        sidecar_tmp.write_text(hashlib.sha256(data).hexdigest() + "\n")
+        os.replace(sidecar_tmp, sidecar)
     except OSError:
+        resilience.note_fallback("disk_write")
         tmp.unlink(missing_ok=True)
 
 
@@ -167,7 +272,7 @@ def shared_hit_stats(
     disk = _disk_cache_dir()
     path = disk / f"hitstats-{key}.json" if disk is not None else None
     if path is not None and path.exists():
-        raw = _load_json(path)
+        raw = probe_json(path, "hitstats")
         if raw is not None and "stats" in raw:
             stats: HitStats = {
                 int(start): (int(pair[0]), int(pair[1]))
@@ -217,7 +322,7 @@ def shared_profile(
     disk = _disk_cache_dir()
     path = disk / f"profile-{key}.json" if disk is not None else None
     if path is not None and path.exists():
-        raw = _load_json(path)
+        raw = probe_json(path, "profile")
         if raw is not None and "hints" in raw:
             profile = FurbysProfile(
                 hints={int(s): int(w) for s, w in raw["hints"].items()},

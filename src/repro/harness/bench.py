@@ -12,9 +12,12 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import shutil
+import tempfile
 import time
 
-from ..workloads.registry import clear_trace_cache
+from .. import faultinject
+from ..workloads.registry import clear_trace_cache, get_trace
 from .parallel import resolve_jobs, run_batch
 from .runner import RunRequest, clear_memory_cache
 
@@ -84,5 +87,112 @@ def compare_serial_parallel(
         "speedup": round(serial_s / parallel_s, 3) if parallel_s > 0 else None,
         "identical_results": identical,
         "parallel_report": parallel_report.to_json(),
+        "serial_report": serial_report.to_json(),
+    }
+
+
+_CHAOS_ENV = (
+    "REPRO_CACHE", "REPRO_CACHE_DIR", "REPRO_FAULT_SPEC", "REPRO_FAULT_STATE",
+)
+
+
+def chaos_smoke(
+    apps: tuple[str, ...] = ("kafka", "clang"),
+    policies: tuple[str, ...] = BENCH_POLICIES,
+    trace_len: int = 6_000,
+    jobs: int | None = None,
+    timeout_s: float = 60.0,
+) -> dict:
+    """Prove the fault-tolerance claim end to end (``repro bench --chaos``).
+
+    Runs a two-figure-shaped batch twice: once serially with no faults
+    (the reference), then in parallel under ``on_error="retry"`` with
+    three injected faults — one worker crash, one worker hang (long
+    enough that the per-chunk timeout must fire), and one corrupted
+    disk-cached trace artifact.  Passes when the chaotic run's results
+    are bit-identical to the clean serial run *and* every injected
+    fault shows up in the batch's fault counters.
+
+    The crash targets task 0 and the hang task 1: chunk-mates, executed
+    sequentially by one worker, so the crash always precedes the hang —
+    the crash is observed in round one (``BrokenProcessPool``), and the
+    hang first fires on the round-two singleton resubmission, where the
+    per-chunk timeout must catch it.  The trace cache is pre-warmed in
+    a private directory so the corruption fault has a real artifact to
+    garble; fault once-state lives in a fresh directory so repeated
+    invocations re-inject.
+    """
+    requests = representative_requests(
+        apps=apps, policies=policies, trace_len=trace_len
+    )
+    jobs = max(2, resolve_jobs(jobs)) if jobs is not None else 2
+    spec = "task:0:crash;task:1:hang=900;artifact:trace:corrupt"
+    state_dir = tempfile.mkdtemp(prefix="repro-chaos-state-")
+    cache_dir = tempfile.mkdtemp(prefix="repro-chaos-cache-")
+    saved = {name: os.environ.get(name) for name in _CHAOS_ENV}
+    try:
+        # Fault-free serial reference, no caches in play.
+        os.environ["REPRO_CACHE"] = "0"
+        os.environ.pop("REPRO_FAULT_SPEC", None)
+        os.environ.pop("REPRO_FAULT_STATE", None)
+        faultinject.reset_plan_cache()
+        _cold_start()
+        started = time.perf_counter()
+        serial_stats, serial_report = run_batch(requests, jobs=1)
+        serial_s = time.perf_counter() - started
+
+        # Chaos arm: private disk cache, trace entries pre-warmed so
+        # the artifact fault has something to corrupt.
+        os.environ["REPRO_CACHE"] = "1"
+        os.environ["REPRO_CACHE_DIR"] = cache_dir
+        _cold_start()
+        for request in requests:
+            get_trace(
+                request.app, request.input_name, request.resolved_trace_len()
+            )
+        _cold_start()
+
+        os.environ["REPRO_FAULT_SPEC"] = spec
+        os.environ["REPRO_FAULT_STATE"] = state_dir
+        faultinject.reset_plan_cache()
+        started = time.perf_counter()
+        chaos_stats, chaos_report = run_batch(
+            requests, jobs=jobs, on_error="retry", timeout_s=timeout_s
+        )
+        chaos_s = time.perf_counter() - started
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+        faultinject.reset_plan_cache()
+        _cold_start()
+        shutil.rmtree(state_dir, ignore_errors=True)
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    identical = len(chaos_stats) == len(serial_stats) and all(
+        a is not None
+        and b is not None
+        and dataclasses.asdict(a) == dataclasses.asdict(b)
+        for a, b in zip(chaos_stats, serial_stats)
+    )
+    faults = chaos_report.faults
+    accounted = (
+        faults.crashed >= 1
+        and faults.timed_out >= 1
+        and faults.corrupt_artifacts >= 1
+        and faults.retried >= 2
+    )
+    return {
+        "requests": len(requests),
+        "jobs": jobs,
+        "spec": spec,
+        "timeout_s": timeout_s,
+        "serial_s": round(serial_s, 3),
+        "chaos_s": round(chaos_s, 3),
+        "identical_results": identical,
+        "faults_accounted": accounted,
+        "chaos_report": chaos_report.to_json(),
         "serial_report": serial_report.to_json(),
     }

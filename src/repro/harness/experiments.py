@@ -53,16 +53,23 @@ def _baseline(app: str, **kwargs) -> SimulationStats:
     return run(_baseline_request(app, **kwargs))
 
 
-def _run_map(requests: dict) -> dict[object, SimulationStats]:
+def _run_map(
+    requests: dict, on_error: str | None = None
+) -> dict[object, SimulationStats]:
     """Execute a keyed request dict as one batch, results under the keys.
 
     This is how every figure goes through the batch engine: build all
     requests first, one :func:`run_many` call, then assemble the table
-    from the returned stats.
+    from the returned stats.  ``on_error`` defaults to the environment
+    (``REPRO_ON_ERROR``); with ``"skip"``, failed requests are dropped
+    from the mapping — callers then render the rows they have, and the
+    failures stay itemized in ``last_batch_report().faults``.
     """
     keys = list(requests)
-    stats = run_many([requests[key] for key in keys])
-    return dict(zip(keys, stats))
+    stats = run_many([requests[key] for key in keys], on_error=on_error)
+    return {
+        key: stat for key, stat in zip(keys, stats) if stat is not None
+    }
 
 
 # --------------------------------------------------------------------------

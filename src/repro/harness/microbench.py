@@ -234,8 +234,14 @@ def microbench_batch(
 
     The aggregate ``lookups_per_s`` (total lookups over total fast-loop
     time) is the number the CI smoke step guards with
-    :func:`check_baseline`.
+    :func:`check_baseline`.  ``degraded_fallbacks`` snapshots the
+    resilience fallback counters accumulated during the bench (shm /
+    disk-write / quarantine events), so a bench that silently degraded
+    is distinguishable from a clean one.
     """
+    from . import resilience
+
+    fallback_snapshot = resilience.global_counters()
     results = [
         microbench_run(
             app, policy, trace_len=trace_len, warmup=warmup,
@@ -272,6 +278,7 @@ def microbench_batch(
         ),
         "speedup_vs_reference": round(total_reference_s / total_pipeline_s, 3),
         "identical_results": all(r.identical_to_reference for r in results),
+        "degraded_fallbacks": resilience.counters_since(fallback_snapshot),
     }
     return {"results": [r.to_json() for r in results], "aggregate": aggregate}
 

@@ -32,6 +32,32 @@ later batches even across processes.
 debugging and coverage simple.  Traces, profiles and the simulation
 itself are deterministic, so parallel results are bit-identical to
 serial ones — the test suite asserts this.
+
+Failure handling (:mod:`repro.harness.resilience`) wraps all of the
+above.  ``on_error`` selects the contract:
+
+* ``"raise"`` (default) — fail fast: the first failure aborts the batch
+  with a :class:`BatchExecutionError` carrying the offending request,
+  attempt count and the worker's traceback;
+* ``"retry"`` — transient failures (a crashed worker process, a chunk
+  timeout, a torn cache artifact — see
+  :data:`~repro.harness.resilience.RETRYABLE_TYPES`) are retried per
+  the :class:`~repro.harness.resilience.RetryPolicy`: the pool is
+  rebuilt after a ``BrokenProcessPool``, surviving cold work is
+  resubmitted as singleton chunks, and a request's **final** attempt is
+  rerouted to the serial path in the parent so a persistent error
+  surfaces with a clean local traceback;
+* ``"skip"`` — like ``"retry"``, but exhausted (or deterministic)
+  failures yield ``None`` in that request's result slot instead of
+  raising, with every skip itemized in ``BatchReport.faults`` — a sweep
+  returns its 95% of good results instead of dying.
+
+Per-chunk timeouts (``timeout_s`` / ``REPRO_TIMEOUT_S``) bound hung
+workers; an expired chunk counts as ``timed_out``, its pool is torn
+down (hung processes terminated) and its requests re-enter the retry
+loop.  Deterministic chaos coverage for all of this lives in
+``tests/test_resilience.py`` and ``repro bench --chaos``, driven by
+:mod:`repro.faultinject`.
 """
 
 from __future__ import annotations
@@ -40,12 +66,18 @@ import dataclasses
 import os
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+from struct import error as struct_error
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from .. import faultinject
 from ..core.stats import SimulationStats
 from ..core.trace import Trace, TraceColumns, TraceMetadata, trace_fastpath_enabled
+from ..errors import FaultInjectionError, ReproError, TraceError
+from . import resilience
+from .resilience import FaultReport, RetryPolicy
 from .runner import RunRequest, _memory_cache, cached_stats, run, store_stats
 
 #: (app, input, trace_len) -> (shm name, n_lookups, metadata fields).
@@ -56,9 +88,12 @@ __all__ = [
     "BatchReport",
     "last_batch_report",
     "resolve_jobs",
+    "resolve_on_error",
     "run_batch",
     "run_many",
 ]
+
+ON_ERROR_MODES = ("raise", "skip", "retry")
 
 
 @dataclass(slots=True)
@@ -73,18 +108,33 @@ class BatchReport:
     jobs: int = 1
     chunks: int = 0
     elapsed_s: float = 0.0
+    on_error: str = "raise"
+    #: Crash/timeout/retry/skip/corruption/fallback taxonomy; all-zero
+    #: on a clean batch.
+    faults: FaultReport = field(default_factory=FaultReport)
 
     def to_json(self) -> dict:
         return dataclasses.asdict(self)
 
 
 class BatchExecutionError(RuntimeError):
-    """A simulation failed inside a batch; carries the offending request."""
+    """A simulation failed inside a batch; carries the offending request.
 
-    def __init__(self, request: RunRequest, detail: str):
-        super().__init__(f"simulation failed for {request!r}:\n{detail}")
+    ``request`` is the failing :class:`RunRequest`, ``attempts`` how
+    many executions were tried before giving up, and ``detail`` the full
+    worker traceback text (or local traceback for serial failures) —
+    everything :func:`repro.harness.reporting.format_failure` needs to
+    print a readable failure block.
+    """
+
+    def __init__(self, request: RunRequest, detail: str, attempts: int = 1):
+        super().__init__(
+            f"simulation failed after {attempts} attempt(s) for "
+            f"{request!r}:\n{detail}"
+        )
         self.request = request
         self.detail = detail
+        self.attempts = attempts
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
@@ -96,6 +146,28 @@ def resolve_jobs(jobs: int | None = None) -> int:
         else:
             jobs = os.cpu_count() or 1
     return max(1, int(jobs))
+
+
+def resolve_on_error(on_error: str | None = None) -> str:
+    """Failure mode: explicit arg, else ``REPRO_ON_ERROR``, else raise."""
+    if on_error is None:
+        on_error = os.environ.get("REPRO_ON_ERROR", "").strip() or "raise"
+    if on_error not in ON_ERROR_MODES:
+        raise ReproError(
+            f"unknown on_error mode {on_error!r}; choose from {ON_ERROR_MODES}"
+        )
+    return on_error
+
+
+def _resolve_timeout(timeout_s: float | None) -> float | None:
+    """Per-chunk timeout: explicit arg, else ``REPRO_TIMEOUT_S``, else off."""
+    if timeout_s is None:
+        env = os.environ.get("REPRO_TIMEOUT_S", "").strip()
+        if env:
+            timeout_s = float(env)
+    if timeout_s is not None and timeout_s <= 0:
+        return None
+    return timeout_s
 
 
 def _chunk_cold_requests(
@@ -134,9 +206,9 @@ def _export_traces(
     ``(app, input, trace_len)`` and publishes the packed columns as one
     ``multiprocessing.shared_memory`` segment, so workers copy columns
     out of the segment instead of re-deriving 45k ``PWLookup`` objects
-    per chunk.  Any ``OSError`` (e.g. ``/dev/shm`` unavailable) degrades
-    silently to the old regenerate-in-worker behaviour — the disk trace
-    cache usually still absorbs it.
+    per chunk.  A failed segment allocation (e.g. ``/dev/shm``
+    unavailable or full) degrades to the old regenerate-in-worker
+    behaviour — counted as an ``shm_export`` fallback, never silent.
 
     Returns the descriptors plus the open segments; the caller must
     close and unlink the segments once the pool has drained.
@@ -164,6 +236,7 @@ def _export_traces(
         try:
             segment = shared_memory.SharedMemory(create=True, size=len(payload))
         except OSError:
+            resilience.note_fallback("shm_export")
             continue
         segment.buf[: len(payload)] = payload
         segments.append(segment)
@@ -182,7 +255,7 @@ def _release_segments(segments: list) -> None:
             segment.close()
             segment.unlink()
         except OSError:  # pragma: no cover - already gone
-            pass
+            resilience.note_fallback("shm_cleanup")
 
 
 def _attach_traces(descriptors: TraceDescriptors) -> None:
@@ -191,10 +264,12 @@ def _attach_traces(descriptors: TraceDescriptors) -> None:
     Under the default ``fork`` start method the parent's trace cache is
     inherited and seeding is a no-op; under ``spawn`` (or after a cache
     clear) this is what saves regeneration.  A missing/renamed segment
-    just falls back to normal generation.
+    or an undecodable payload counts an ``shm_attach`` fallback and the
+    worker falls back to normal generation.
     """
     if not descriptors:
         return
+    faultinject.maybe_fail_shm_attach()
     from multiprocessing import resource_tracker, shared_memory
 
     from ..workloads.registry import seed_trace_cache
@@ -212,12 +287,14 @@ def _attach_traces(descriptors: TraceDescriptors) -> None:
         try:
             segment = shared_memory.SharedMemory(name=name)
         except (OSError, ValueError):
+            resilience.note_fallback("shm_attach")
             continue
         finally:
             resource_tracker.register = _register
         try:
             columns = TraceColumns.from_payload(segment.buf, n)
-        except Exception:
+        except (ValueError, TraceError, struct_error):
+            resilience.note_fallback("shm_attach")
             segment.close()
             continue
         segment.close()
@@ -228,28 +305,45 @@ def _attach_traces(descriptors: TraceDescriptors) -> None:
 def _simulate_chunk(
     requests: list[RunRequest],
     trace_descriptors: TraceDescriptors | None = None,
-) -> list[tuple[str, object]]:
+    task_indices: list[int] | None = None,
+) -> tuple[list[tuple[str, object]], dict[str, int]]:
     """Worker entry point: run each request, never raise.
 
     Runs inside a pool process; traces arrive over shared memory (see
     :func:`_export_traces`) when available, otherwise they are rebuilt
     from the request (they are deterministic) and cached per worker, so
     same-app requests grouped onto this worker pay trace construction
-    at most once.  Exceptions are shipped back as formatted text so the
-    parent can attach the offending request.
+    at most once.  Exceptions are shipped back as the exception type
+    name plus formatted traceback text so the parent can classify
+    retryability and attach the offending request.  The second return
+    value is this chunk's fallback-counter delta (shm attach failures,
+    quarantined artifacts, ...) for the parent's
+    :class:`~repro.harness.resilience.FaultReport`.
+
+    ``task_indices`` are the batch-wide cold-task numbers of each
+    request, consumed by the fault-injection hooks (and by nothing
+    else) so ``REPRO_FAULT_SPEC`` can name a specific simulation.
     """
+    counters_before = resilience.global_counters()
     if trace_descriptors:
         try:
             _attach_traces(trace_descriptors)
-        except Exception:
-            pass  # sharing is an optimization; generation still works
+        except (OSError, ValueError, TraceError, FaultInjectionError):
+            # Sharing is an optimization; generation still works.
+            resilience.note_fallback("shm_attach")
+    if task_indices is None:
+        task_indices = list(range(len(requests)))
     out: list[tuple[str, object]] = []
-    for request in requests:
+    for index, request in zip(task_indices, requests):
         try:
+            faultinject.on_worker_task(index)
             out.append(("ok", run(request)))
-        except Exception:
-            out.append(("err", traceback.format_exc()))
-    return out
+        except Exception as exc:
+            out.append(("err", {
+                "type": type(exc).__name__,
+                "traceback": traceback.format_exc(),
+            }))
+    return out, resilience.counters_since(counters_before)
 
 
 _last_report: BatchReport | None = None
@@ -260,14 +354,325 @@ def last_batch_report() -> BatchReport | None:
     return _last_report
 
 
+@dataclass(slots=True)
+class _PendingTask:
+    """One cold request's execution state across attempts."""
+
+    key: str
+    request: RunRequest
+    index: int  # batch-wide cold-task number (fault-injection identity)
+    attempts: int = 0
+    error_type: str = ""
+    detail: str = ""
+    state: str = "pending"  # pending | serial | done | failed
+
+
+class _PoolExecutor:
+    """The retry-aware fan-out: rounds of chunk submission over
+    (re)built process pools, with per-chunk deadlines."""
+
+    def __init__(
+        self,
+        cold: list[tuple[str, RunRequest]],
+        jobs: int,
+        report: BatchReport,
+        on_error: str,
+        retry_policy: RetryPolicy,
+        timeout_s: float | None,
+        results: dict[str, SimulationStats | None],
+    ):
+        self.tasks = [
+            _PendingTask(key=key, request=request, index=i)
+            for i, (key, request) in enumerate(cold)
+        ]
+        self.jobs = jobs
+        self.report = report
+        self.on_error = on_error
+        self.retry_policy = retry_policy
+        self.timeout_s = timeout_s
+        self.results = results
+        self.serial_queue: list[_PendingTask] = []
+
+    # -- failure classification ------------------------------------------------
+
+    def _finalize_failure(self, task: _PendingTask) -> None:
+        task.state = "failed"
+        if self.on_error == "skip":
+            self.report.faults.skipped += 1
+            self.report.faults.failures.append({
+                "request": repr(task.request),
+                "error": task.error_type,
+                "attempts": task.attempts,
+            })
+            self.results[task.key] = None
+            return
+        raise BatchExecutionError(
+            task.request, task.detail, attempts=task.attempts
+        )
+
+    def _note_attempt_failure(
+        self, task: _PendingTask, error_type: str, detail: str
+    ) -> None:
+        """One execution attempt of ``task`` failed; decide its future."""
+        task.attempts += 1
+        task.error_type = error_type
+        task.detail = detail
+        if self.on_error == "raise":
+            raise BatchExecutionError(
+                task.request, detail, attempts=task.attempts
+            )
+        retryable = self.retry_policy.is_retryable_name(error_type)
+        if not retryable or task.attempts >= self.retry_policy.max_attempts:
+            self._finalize_failure(task)
+            return
+        self.report.faults.retried += 1
+        if task.attempts >= self.retry_policy.max_attempts - 1:
+            # Reserve the last attempt for the serial path: a failure
+            # there produces a clean local traceback, and a parent-side
+            # run cannot be lost to another worker crash.
+            task.state = "serial"
+            self.serial_queue.append(task)
+        else:
+            task.state = "pending"
+
+    def _record_success(self, task: _PendingTask, stats: SimulationStats) -> None:
+        store_stats(task.request, stats, task.key)
+        self.results[task.key] = stats
+        task.state = "done"
+
+    # -- rounds ---------------------------------------------------------------
+
+    def _run_round(self, pending: list[_PendingTask], first: bool,
+                   descriptors: TraceDescriptors) -> None:
+        if first:
+            request_chunks = _chunk_cold_requests(
+                [task.request for task in pending], self.jobs
+            )
+            by_request = {task.request: task for task in pending}
+            chunks = [[by_request[r] for r in chunk] for chunk in request_chunks]
+        else:
+            # Retry rounds resubmit singleton chunks so one bad request
+            # cannot take innocent chunk-mates down with it again.
+            chunks = [[task] for task in pending]
+        self.report.chunks += len(chunks)
+        pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(chunks)))
+        abandon = False
+        pool_broken = False
+        try:
+            futures = {}
+            deadlines: dict = {}
+            submitted = time.monotonic()
+            for chunk in chunks:
+                future = pool.submit(
+                    _simulate_chunk,
+                    [task.request for task in chunk],
+                    descriptors,
+                    [task.index for task in chunk],
+                )
+                futures[future] = chunk
+                deadlines[future] = (
+                    submitted + self.timeout_s if self.timeout_s else None
+                )
+            not_done = set(futures)
+            while not_done:
+                timeout = None
+                if self.timeout_s:
+                    next_deadline = min(deadlines[f] for f in not_done)
+                    timeout = max(0.0, next_deadline - time.monotonic())
+                done, not_done = wait(
+                    not_done, timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    chunk = futures[future]
+                    try:
+                        chunk_results, counter_delta = future.result()
+                    except BrokenProcessPool:
+                        if not pool_broken:
+                            pool_broken = True
+                            self.report.faults.crashed += 1
+                        for task in chunk:
+                            self._note_attempt_failure(
+                                task, "BrokenProcessPool",
+                                "worker process crashed mid-chunk "
+                                "(BrokenProcessPool); results of this "
+                                "chunk's attempt were lost",
+                            )
+                        continue
+                    self.report.faults.merge_counters(counter_delta)
+                    for task, (status, payload) in zip(chunk, chunk_results):
+                        if status == "ok":
+                            self._record_success(task, payload)
+                        else:
+                            self._note_attempt_failure(
+                                task, payload["type"], payload["traceback"]
+                            )
+                if pool_broken:
+                    abandon = True
+                elif not_done and self.timeout_s:
+                    now = time.monotonic()
+                    for future in [
+                        f for f in list(not_done)
+                        if deadlines[f] is not None and now >= deadlines[f]
+                    ]:
+                        chunk = futures[future]
+                        if future.cancel():
+                            # Never started (queued behind a slow chunk):
+                            # not a failure, just resubmit next round.
+                            not_done.discard(future)
+                            continue
+                        self.report.faults.timed_out += 1
+                        not_done.discard(future)
+                        abandon = True
+                        for task in chunk:
+                            self._note_attempt_failure(
+                                task, "TimeoutError",
+                                f"chunk exceeded its {self.timeout_s}s "
+                                "timeout (worker hung); abandoned",
+                            )
+                if abandon:
+                    break
+        finally:
+            if abandon or pool_broken:
+                self._teardown(pool)
+            else:
+                pool.shutdown(wait=True)
+
+    @staticmethod
+    def _teardown(pool: ProcessPoolExecutor) -> None:
+        """Abandon a pool that contains hung or crashed workers.
+
+        The process list must be snapshotted *before* ``shutdown()``:
+        CPython drops ``_processes`` to ``None`` there even with
+        ``wait=False``, so reading it afterwards would leave hung
+        workers alive — and the interpreter's atexit hook would then
+        block on the pool's management thread until the hang ended.
+        """
+        processes = getattr(pool, "_processes", None) or {}
+        if isinstance(processes, dict):  # a list while the pool is breaking
+            processes = list(processes.values())
+        else:
+            processes = list(processes)
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            # SIGKILL, not SIGTERM: the chunk's results are already
+            # written off, and a hung worker must not outlive the round.
+            try:
+                process.kill()
+            except (OSError, AttributeError):  # pragma: no cover - racing exit
+                pass
+        for process in processes:
+            try:
+                process.join(timeout=5.0)
+            except (OSError, AttributeError, ValueError):  # pragma: no cover
+                pass
+
+    def _run_serial_queue(self) -> None:
+        for task in self.serial_queue:
+            time.sleep(
+                min(self.retry_policy.delay_for(task.attempts, task.key), 1.0)
+            )
+            try:
+                self.results[task.key] = run(task.request)
+                task.state = "done"
+            except Exception as exc:
+                task.attempts += 1
+                task.error_type = type(exc).__name__
+                task.detail = traceback.format_exc()
+                self._finalize_failure(task)
+
+    def execute(self) -> None:
+        descriptors, segments = _export_traces(
+            [task.request for task in self.tasks]
+        )
+        try:
+            first = True
+            rounds = 0
+            max_rounds = 3 * max(1, self.retry_policy.max_attempts) + 3
+            while True:
+                pending = [t for t in self.tasks if t.state == "pending"]
+                if not pending:
+                    break
+                rounds += 1
+                if rounds > max_rounds:  # pragma: no cover - safety valve
+                    raise ReproError(
+                        f"batch did not converge after {rounds} pool rounds; "
+                        f"{len(pending)} request(s) still pending"
+                    )
+                if not first:
+                    time.sleep(min(max(
+                        self.retry_policy.delay_for(t.attempts, t.key)
+                        for t in pending
+                    ), 1.0))
+                self._run_round(pending, first, descriptors)
+                first = False
+            self._run_serial_queue()
+        finally:
+            _release_segments(segments)
+
+
+def _run_serial(
+    cold: list[tuple[str, RunRequest]],
+    report: BatchReport,
+    on_error: str,
+    retry_policy: RetryPolicy,
+    results: dict[str, SimulationStats | None],
+) -> None:
+    for key, request in cold:
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                results[key] = run(request)
+                break
+            except Exception as exc:
+                detail = traceback.format_exc()
+                if on_error == "raise":
+                    raise BatchExecutionError(
+                        request, detail, attempts=attempts
+                    ) from exc
+                if (
+                    retry_policy.is_retryable(exc)
+                    and attempts < retry_policy.max_attempts
+                ):
+                    report.faults.retried += 1
+                    time.sleep(retry_policy.delay_for(attempts, key))
+                    continue
+                if on_error == "skip":
+                    report.faults.skipped += 1
+                    report.faults.failures.append({
+                        "request": repr(request),
+                        "error": type(exc).__name__,
+                        "attempts": attempts,
+                    })
+                    results[key] = None
+                    break
+                raise BatchExecutionError(
+                    request, detail, attempts=attempts
+                ) from exc
+
+
 def run_batch(
-    requests: Iterable[RunRequest], jobs: int | None = None
-) -> tuple[list[SimulationStats], BatchReport]:
-    """Like :func:`run_many`, returning the :class:`BatchReport` too."""
+    requests: Iterable[RunRequest],
+    jobs: int | None = None,
+    *,
+    on_error: str | None = None,
+    retry_policy: RetryPolicy | None = None,
+    timeout_s: float | None = None,
+) -> tuple[list[SimulationStats | None], BatchReport]:
+    """Like :func:`run_many`, returning the :class:`BatchReport` too.
+
+    See the module docstring for the ``on_error`` / retry / timeout
+    semantics; under ``on_error="skip"`` a failed request's result slot
+    is ``None`` and the failure is itemized in ``report.faults``.
+    """
     global _last_report
     requests = list(requests)
     jobs = resolve_jobs(jobs)
-    report = BatchReport(requests=len(requests), jobs=jobs)
+    on_error = resolve_on_error(on_error)
+    retry_policy = retry_policy or RetryPolicy()
+    timeout_s = _resolve_timeout(timeout_s)
+    report = BatchReport(requests=len(requests), jobs=jobs, on_error=on_error)
+    counters_before = resilience.global_counters()
     started = time.perf_counter()
 
     # 1. dedup, preserving request order for the result list.
@@ -280,7 +685,7 @@ def run_batch(
     report.unique = len(unique)
 
     # 2. serve cache hits inline.
-    results: dict[str, SimulationStats] = {}
+    results: dict[str, SimulationStats | None] = {}
     cold: list[tuple[str, RunRequest]] = []
     for key, request in unique.items():
         in_memory = key in _memory_cache
@@ -298,48 +703,39 @@ def run_batch(
     # 3. execute the cold remainder (serial fallback or process fan-out),
     # 4. writing worker results back into both cache layers here.
     if cold and jobs == 1:
-        for key, request in cold:
-            try:
-                results[key] = run(request)
-            except Exception as exc:
-                raise BatchExecutionError(
-                    request, f"{type(exc).__name__}: {exc}"
-                ) from exc
+        _run_serial(cold, report, on_error, retry_policy, results)
     elif cold:
-        chunks = _chunk_cold_requests([request for _, request in cold], jobs)
-        report.chunks = len(chunks)
-        descriptors, segments = _export_traces([request for _, request in cold])
-        try:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
-                futures = {
-                    pool.submit(_simulate_chunk, chunk, descriptors): chunk
-                    for chunk in chunks
-                }
-                for future in as_completed(futures):
-                    for request, (status, payload) in zip(
-                        futures[future], future.result()
-                    ):
-                        if status == "err":
-                            raise BatchExecutionError(request, str(payload))
-                        key = request.cache_key()
-                        store_stats(request, payload, key)
-                        results[key] = payload
-        finally:
-            _release_segments(segments)
+        _PoolExecutor(
+            cold, jobs, report, on_error, retry_policy, timeout_s, results
+        ).execute()
 
+    # Parent-side graceful degradations during this batch (quarantined
+    # cache entries, failed disk writes, shm export issues) land in the
+    # report too; worker-side deltas were merged per chunk.
+    report.faults.merge_counters(resilience.counters_since(counters_before))
     report.elapsed_s = time.perf_counter() - started
     _last_report = report
     return [results[key] for key in order], report
 
 
 def run_many(
-    requests: Iterable[RunRequest], jobs: int | None = None
-) -> list[SimulationStats]:
+    requests: Iterable[RunRequest],
+    jobs: int | None = None,
+    *,
+    on_error: str | None = None,
+    retry_policy: RetryPolicy | None = None,
+    timeout_s: float | None = None,
+) -> list[SimulationStats | None]:
     """Execute a batch of simulations, results in request order.
 
     Duplicate requests are simulated once; every request's stats are
     bit-identical to what serial ``run()`` would produce.  The batch
-    accounting is available via :func:`last_batch_report`.
+    accounting is available via :func:`last_batch_report`.  Under
+    ``on_error="skip"`` (argument or ``REPRO_ON_ERROR``), failed
+    requests yield ``None`` slots instead of aborting the batch.
     """
-    results, _ = run_batch(requests, jobs=jobs)
+    results, _ = run_batch(
+        requests, jobs=jobs, on_error=on_error, retry_policy=retry_policy,
+        timeout_s=timeout_s,
+    )
     return results

@@ -69,7 +69,13 @@ def bar_chart(
 
 
 def format_batch_report(report) -> str:
-    """One-line summary of a :class:`~repro.harness.parallel.BatchReport`."""
+    """Summary of a :class:`~repro.harness.parallel.BatchReport`.
+
+    One line for a clean batch; when any fault counter is non-zero a
+    second line itemizes the taxonomy (crashed / timed-out / retried /
+    skipped / corrupt artifacts / degraded fallbacks) so degradations
+    are never silent.
+    """
     served = (
         f"{report.memory_hits} memory + {report.disk_hits} disk hits, "
         f"{report.executed} executed"
@@ -79,10 +85,50 @@ def format_batch_report(report) -> str:
         if report.chunks
         else f"serial ({report.jobs} job)" if report.jobs == 1 else f"{report.jobs} jobs"
     )
-    return (
+    line = (
         f"batch: {report.requests} requests ({report.unique} unique) | "
         f"{served} | {fan_out} | {report.elapsed_s:.1f}s"
     )
+    faults = getattr(report, "faults", None)
+    if faults is None or (faults.total_faults == 0 and faults.retried == 0):
+        return line
+    parts = []
+    for label, count in (
+        ("crashed", faults.crashed),
+        ("timed-out", faults.timed_out),
+        ("retried", faults.retried),
+        ("skipped", faults.skipped),
+        ("corrupt-artifacts", faults.corrupt_artifacts),
+    ):
+        if count:
+            parts.append(f"{count} {label}")
+    if faults.degraded_fallbacks:
+        breakdown = ", ".join(
+            f"{name}={count}" for name, count in sorted(faults.fallbacks.items())
+        )
+        parts.append(f"{faults.degraded_fallbacks} degraded fallbacks ({breakdown})")
+    return line + "\nfaults: " + " | ".join(parts)
+
+
+def format_failure(exc) -> str:
+    """Readable failure block for a
+    :class:`~repro.harness.parallel.BatchExecutionError`.
+
+    Shows the full failing request, how many attempts it got, and the
+    worker traceback the error chained — everything needed to reproduce
+    the failure with a single serial run.
+    """
+    lines = [
+        "=" * 64,
+        "batch execution failed",
+        f"  request : {getattr(exc, 'request', None)!r}",
+        f"  attempts: {getattr(exc, 'attempts', 1)}",
+        "-" * 64,
+    ]
+    detail = getattr(exc, "detail", "") or str(exc)
+    lines.append(detail.rstrip("\n"))
+    lines.append("=" * 64)
+    return "\n".join(lines)
 
 
 def geometric_mean(values: Sequence[float]) -> float:

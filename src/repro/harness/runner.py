@@ -33,8 +33,11 @@ from ..profiling.hitrate import three_class_profile
 from ..workloads.registry import DEFAULT_TRACE_LEN, clear_trace_cache, get_trace
 from .artifacts import (
     _disk_cache_dir,
+    _store_json,
     clear_artifact_caches,
+    probe_json,
     profiling_geometry,
+    quarantine,
     shared_hit_stats,
     shared_profile,
 )
@@ -290,9 +293,11 @@ def _build_policy_and_hints(
 def cached_stats(request: RunRequest, key: str | None = None) -> SimulationStats | None:
     """Probe the memory then disk cache; ``None`` on a full miss.
 
-    A disk hit is promoted into the memory layer.  Corrupt or truncated
-    disk entries (e.g. from a killed writer predating atomic renames)
-    are discarded so the run is recomputed.
+    A disk hit is promoted into the memory layer.  Disk entries are
+    integrity-checked (embedded ``sha256`` when present); corrupt,
+    truncated or checksum-failing entries are quarantined as
+    ``*.corrupt`` — counted, never silently deleted — and the run is
+    recomputed.
     """
     key = key or request.cache_key()
     cached = _memory_cache.get(key)
@@ -302,12 +307,15 @@ def cached_stats(request: RunRequest, key: str | None = None) -> SimulationStats
     if disk is not None:
         path = disk / f"{key}.json"
         if path.exists():
-            try:
-                stats = RunResult.stats_from_json(json.loads(path.read_text()))
-                _memory_cache[key] = stats
-                return stats
-            except (ValueError, KeyError, TypeError):
-                path.unlink(missing_ok=True)
+            payload = probe_json(path, "stats")
+            if payload is not None:
+                try:
+                    stats = RunResult.stats_from_json(payload)
+                except (ValueError, KeyError, TypeError) as exc:
+                    quarantine(path, f"undecodable stats payload ({exc})")
+                else:
+                    _memory_cache[key] = stats
+                    return stats
     return None
 
 
@@ -320,19 +328,15 @@ def store_stats(
     published with an atomic :func:`os.replace`, so concurrent writers
     of the same key (parallel workers sharing ``.repro-cache/``) and
     interrupted processes can never leave a truncated entry behind.
+    The payload embeds a ``sha256`` checksum that :func:`cached_stats`
+    verifies; a failed write is counted as a ``disk_write`` fallback.
     """
     key = key or request.cache_key()
     _memory_cache[key] = stats
     disk = _disk_cache_dir()
     if disk is None:
         return
-    payload = json.dumps(RunResult(request, stats).to_json())
-    tmp = disk / f"{key}.{os.getpid()}.tmp"
-    try:
-        tmp.write_text(payload)
-        os.replace(tmp, disk / f"{key}.json")
-    except OSError:
-        tmp.unlink(missing_ok=True)
+    _store_json(disk / f"{key}.json", RunResult(request, stats).to_json())
 
 
 def execute(request: RunRequest) -> SimulationStats:

@@ -23,6 +23,7 @@ def _geometry_sweep(
     field_name: str,
     values: Iterable[int],
     base: RunRequest | None,
+    on_error: str | None,
 ) -> dict[int, SimulationStats]:
     if base is None:
         template = RunRequest(app=app, policy=policy)
@@ -30,9 +31,15 @@ def _geometry_sweep(
         template = replace(base, app=app, policy=policy)
     points = list(values)
     stats = run_many(
-        [replace(template, **{field_name: value}) for value in points]
+        [replace(template, **{field_name: value}) for value in points],
+        on_error=on_error,
     )
-    return dict(zip(points, stats))
+    # Under on_error="skip" a failed sweep point comes back as None;
+    # omit it so callers see a sparse-but-honest curve instead of
+    # crashing on arithmetic with None.
+    return {
+        point: stat for point, stat in zip(points, stats) if stat is not None
+    }
 
 
 def capacity_sweep(
@@ -41,9 +48,17 @@ def capacity_sweep(
     entry_counts: Iterable[int],
     *,
     base: RunRequest | None = None,
+    on_error: str | None = None,
 ) -> dict[int, SimulationStats]:
-    """Run one policy across micro-op cache capacities."""
-    return _geometry_sweep(app, policy, "cache_entries", entry_counts, base)
+    """Run one policy across micro-op cache capacities.
+
+    ``on_error`` follows :func:`~repro.harness.parallel.run_batch`
+    semantics; with ``"skip"``, failed points are omitted from the
+    returned mapping (itemized in ``last_batch_report().faults``).
+    """
+    return _geometry_sweep(
+        app, policy, "cache_entries", entry_counts, base, on_error
+    )
 
 
 def associativity_sweep(
@@ -52,9 +67,17 @@ def associativity_sweep(
     way_counts: Iterable[int],
     *,
     base: RunRequest | None = None,
+    on_error: str | None = None,
 ) -> dict[int, SimulationStats]:
-    """Run one policy across micro-op cache associativities."""
-    return _geometry_sweep(app, policy, "cache_ways", way_counts, base)
+    """Run one policy across micro-op cache associativities.
+
+    ``on_error`` follows :func:`~repro.harness.parallel.run_batch`
+    semantics; with ``"skip"``, failed points are omitted from the
+    returned mapping (itemized in ``last_batch_report().faults``).
+    """
+    return _geometry_sweep(
+        app, policy, "cache_ways", way_counts, base, on_error
+    )
 
 
 def iso_capacity(
