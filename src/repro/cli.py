@@ -84,15 +84,25 @@ def _bench(args: argparse.Namespace) -> int:
                 apps, trace_len=args.trace_len or 20_000,
                 repeats=args.repeats,
             )
+        elif args.stage == "frontend_sim":
+            from .harness.microbench import frontend_sim_batch
+
+            outcome = frontend_sim_batch(
+                apps, policies, trace_len=args.trace_len or 20_000,
+                repeats=args.repeats,
+            )
         else:
-            print(f"unknown --stage {args.stage!r}; 'policy_build' and "
-                  "'trace_build' are available", file=sys.stderr)
+            print(f"unknown --stage {args.stage!r}; 'policy_build', "
+                  "'trace_build' and 'frontend_sim' are available",
+                  file=sys.stderr)
             return 2
         text = json.dumps(outcome, indent=2)
         print(text)
         if args.output:
             with open(args.output, "w") as handle:
                 handle.write(text + "\n")
+        if args.stage == "frontend_sim":
+            return 0 if outcome["aggregate"]["identical_results"] else 1
         return 0
 
     if args.micro:

@@ -288,6 +288,34 @@ class PreparedTrace:
     line_counts: list[int]
 
 
+#: Every constructed trace, weakly held — the census below never pins
+#: one.  Keyed by id() because Trace is equality-comparable (unhashable);
+#: a dead entry's reused id simply overwrites the vacated slot.
+_live_traces: "weakref.WeakValueDictionary[int, Trace]" = \
+    weakref.WeakValueDictionary()
+
+
+def memo_census() -> dict[str, int]:
+    """Memory-resident per-trace memo entries, across all live traces.
+
+    Memoized derived data (:meth:`Trace.memo` artifacts such as the
+    columnar future index and the simd kernel columns, plus
+    :meth:`Trace.prepared` results) lives only in each trace's
+    ``_derived`` dict, so it is released exactly when the trace itself
+    is.  After :func:`repro.harness.runner.clear_memory_cache` drops the
+    registry LRU (and ``gc.collect()`` clears any cycles), the census
+    returns to zero unless a caller still pins a trace — the regression
+    check for memo leaks.
+    """
+    traces = entries = 0
+    for trace in list(_live_traces.values()):
+        held = len(trace._derived)
+        if held:
+            traces += 1
+            entries += held
+    return {"traces": traces, "entries": entries}
+
+
 @dataclass(frozen=True, slots=True)
 class TraceMetadata:
     """Provenance of a trace: which app, which input, how it was made."""
@@ -329,6 +357,7 @@ class Trace:
         self._columns = columns
         self.metadata = metadata if metadata is not None else TraceMetadata()
         self._derived: dict = {}
+        _live_traces[id(self)] = self
 
     @property
     def lookups(self) -> list[PWLookup]:
@@ -393,6 +422,7 @@ class Trace:
 
     def __setstate__(self, state) -> None:
         self._derived = {}
+        _live_traces[id(self)] = self
         if len(state) == 3 and state[0] == "cols":
             _, self.metadata, columns = state
             self._columns = TraceColumns(*columns)

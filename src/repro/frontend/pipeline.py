@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from collections import OrderedDict, deque
 
+from .. import stagetimer
 from ..config import SimulationConfig
 from ..core.pw import PWLookup
 from ..core.stats import MissClass, SimulationStats
@@ -335,26 +336,32 @@ class FrontendPipeline:
         Warmup keeps all microarchitectural state (caches, policy
         metadata, pending insertions) but discards the counters.
 
-        The loop runs over a :meth:`~repro.core.trace.Trace.prepared`
-        view of the trace (per-unique-PW set indices, entry sizes and
-        line counts) with per-step work inlined; it is bit-identical to
-        :meth:`run_reference` / :meth:`step` — see
-        ``tests/test_golden_stats.py``.
+        Supported configurations (LRU/SRRIP/random/GHRP, no miss
+        classification or per-PW recording) dispatch to the vectorized
+        :mod:`repro.frontend.simd` kernel unless ``REPRO_SIM_FASTPATH=0``;
+        everything else runs the prepared-trace loop below.  Both are
+        bit-identical to :meth:`run_reference` / :meth:`step` — see
+        ``tests/test_golden_stats.py`` and ``tests/test_sim_kernel.py``.
         """
-        prepared = trace.prepared(
-            n_sets=self.uop_cache.n_sets,
-            uops_per_entry=self.config.uop_cache.uops_per_entry,
-            line_bytes=self.config.icache.line_bytes,
-            set_index_fn=self.uop_cache._set_index,
-        )
-        n = len(prepared.lookups)
-        if 0 < warmup < n:
-            self._run_segment(prepared, 0, warmup)
-            self.stats = SimulationStats()
-            self._run_segment(prepared, warmup, n)
-        else:
-            self._run_segment(prepared, 0, n)
-        return self._finalize(n)
+        from . import simd
+
+        with stagetimer.timed("frontend_sim"):
+            if simd.sim_fastpath_enabled() and simd.supports(self):
+                return simd.run_kernel(self, trace, warmup)
+            prepared = trace.prepared(
+                n_sets=self.uop_cache.n_sets,
+                uops_per_entry=self.config.uop_cache.uops_per_entry,
+                line_bytes=self.config.icache.line_bytes,
+                set_index_fn=self.uop_cache._set_index,
+            )
+            n = len(prepared.lookups)
+            if 0 < warmup < n:
+                self._run_segment(prepared, 0, warmup)
+                self.stats = SimulationStats()
+                self._run_segment(prepared, warmup, n)
+            else:
+                self._run_segment(prepared, 0, n)
+            return self._finalize(n)
 
     def _run_segment(self, prepared: PreparedTrace, begin: int, end: int) -> None:
         """Hot loop: process ``prepared`` lookups ``[begin, end)``.

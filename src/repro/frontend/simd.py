@@ -1,0 +1,1671 @@
+"""Vectorized frontend simulation kernel over packed trace columns.
+
+The reference simulation (:meth:`FrontendPipeline.step` and the inlined
+:meth:`FrontendPipeline._run_segment` loop) walks one ``PWLookup``
+object at a time through virtual policy hooks, the ``UopCache`` storage
+layer and the icache/BTB models.  For the stateless-scoreable online
+policies (LRU, SRRIP, random, GHRP) all of that dispatch is avoidable:
+their per-event updates are plain dict/counter operations, and every
+per-lookup quantity that depends only on the (PW, geometry) pair can be
+precomputed for the whole trace in numpy array passes directly from
+:class:`~repro.core.trace.TraceColumns` — no ``PWLookup`` objects are
+materialized at all.
+
+The kernel splits the simulation into:
+
+* **array passes** (numpy, once per trace x geometry, memoized on the
+  trace so all policies in a batch share them): set indices, entry
+  sizes, icache line spans, legacy-decode cycles, branch extraction,
+  prefix sums for per-segment totals, and — for GHRP — the full global
+  history sequence (the 20-bit history register is a shift-XOR of the
+  last four start addresses, so it vectorizes exactly);
+* a **compressed BTB pass** per segment over branch-terminated lookups
+  only (the BTB is independent of micro-op cache state, so its LRU
+  updates batch into one tight loop over precomputed branch PCs);
+* a **stamp-based main loop** over ``(now, start, uops)`` triples whose
+  hit path is one dict probe plus a recency stamp, and whose
+  miss/insertion path inlines the storage layer (per-set resident
+  dicts, the line reverse map, per-policy victim ranking) without
+  allocating ``StoredPW``/``InsertionRequest`` objects.
+
+Bit-identity: the kernel replicates the reference event order exactly —
+insertion completions before the policy's lookup hook, bypass
+consultation before victim ranking, inclusive invalidations in
+line-map set order — and mutates the *live* policy dicts (LRU/SRRIP
+recency and RRPV maps, GHRP tables/signatures, the random policy's
+RNG), so every ``SimulationStats`` field matches the reference loop;
+``tests/test_sim_kernel.py`` sweeps geometries, policies and trace
+lengths against :meth:`FrontendPipeline.run_reference`.
+
+``REPRO_SIM_FASTPATH=0`` disables the kernel (the prepared-trace loop
+in :meth:`FrontendPipeline._run_segment` then runs, exactly as before
+this kernel existed); unsupported configurations (offline policies,
+miss classification, per-PW hit-rate recording, perfect uop cache)
+fall back automatically.
+"""
+
+from __future__ import annotations
+
+import gc as _gc
+import os
+from collections import deque
+from typing import TYPE_CHECKING
+
+try:  # numpy is a project dependency, but minimal CI envs may omit it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the fallback path
+    _np = None
+
+from .. import stagetimer
+from ..core.pw import StoredPW
+from ..core.stats import SimulationStats
+from ..core.trace import (
+    FLAG_CONTAINS,
+    FLAG_MISPREDICTED,
+    FLAG_TERMINATED,
+    callable_token,
+)
+from ..policies.ghrp import (
+    _BYPASS_THRESHOLD,
+    _DEAD_THRESHOLD,
+    _TABLE_SIZE,
+    GHRPPolicy,
+)
+from ..policies.lru import LRUPolicy
+from ..policies.random_policy import RandomPolicy
+from ..policies.srrip import RRPV_HIT, RRPV_INSERT, RRPV_MAX, SRRIPPolicy
+from ..uopcache.cache import default_set_index
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.trace import Trace
+    from .pipeline import FrontendPipeline
+
+_MASK12 = _TABLE_SIZE - 1
+
+
+def _inline_shuffle_matches_stdlib() -> bool:
+    """Whether the kernel's inlined Fisher-Yates replays ``Random.shuffle``.
+
+    The random policy's victim order (and final RNG state) must be
+    bit-identical to the reference, which calls ``Random.shuffle``.  The
+    kernel inlines the exact CPython implementation (``_randbelow`` via
+    ``getrandbits`` rejection sampling) to skip two layers of function
+    calls per element; this import-time check replays both against one
+    seed and disables the inline path if the stdlib ever changes.
+    """
+    import random as _random
+
+    a = _random.Random(0xC0FFEE)
+    b = _random.Random(0xC0FFEE)
+    getrandbits = b.getrandbits
+    for size in (2, 3, 5, 7, 8, 23):
+        xa = list(range(size))
+        xb = list(range(size))
+        a.shuffle(xa)
+        for i in range(size - 1, 0, -1):
+            n = i + 1
+            k = n.bit_length()
+            r = getrandbits(k)
+            while r >= n:
+                r = getrandbits(k)
+            xb[i], xb[r] = xb[r], xb[i]
+        if xa != xb:
+            return False
+    return a.getstate() == b.getstate()
+
+
+_INLINE_SHUFFLE = _inline_shuffle_matches_stdlib()
+
+#: Resident-PW record layout (plain list — no object churn).
+# Resident-record layout.  Fields 8+ carry the policy state that the
+# policy objects keep in their own dicts; during the kernel run the
+# records are the *only* live copy (the policy dicts are rebuilt from
+# them, in exact reference insertion order, before the final drain —
+# see _rebuild_policy_dicts), so the hot loop never touches a policy
+# dict.  _LU is the last-use stamp, _AUX the raw RRPV (SRRIP; the
+# per-set aging offset makes raw order == absolute order).  GHRP
+# records extend the layout with four trailing slots.
+(_UOPS, _SIZE, _SET, _INSTS, _BYTES, _WEIGHT, _LINE0, _LINE1,
+ _LU, _AUX, _REUSED) = range(11)
+#: GHRP record tail: flattened predictor table indices (i0/i1/i2, or
+#: None in i0 when the entry has no recorded signature), the reuse bit
+#: and the raw 32-bit signature (needed to rebuild ``_sig``).
+_G_I0, _G_I1, _G_I2, _G_REUSED, _G_SIG = 9, 10, 11, 12, 13
+
+#: Eviction reason codes for :meth:`_Kernel._remove`.
+_REPLACEMENT, _INCLUSIVE, _UPGRADE = range(3)
+
+
+def sim_fastpath_enabled() -> bool:
+    """Whether the vectorized simulation kernel may run (default: yes).
+
+    ``REPRO_SIM_FASTPATH=0`` restores the prepared-trace reference loop
+    end-to-end (same knob pattern as ``REPRO_TRACE_FASTPATH`` /
+    ``REPRO_POLICY_FASTPATH``).  The kernel also requires numpy; when
+    it is absent the reference loop runs unconditionally.
+    """
+    return _np is not None and os.environ.get("REPRO_SIM_FASTPATH", "1") != "0"
+
+
+def kernel_kind(policy: object) -> str | None:
+    """The kernel specialization for ``policy``, or None if unsupported.
+
+    Exact-type checks on purpose: a subclass may override hooks the
+    kernel inlines, which would silently diverge from the reference.
+    """
+    tp = type(policy)
+    if tp is LRUPolicy:
+        return "lru"
+    if tp is SRRIPPolicy:
+        return "srrip"
+    if tp is RandomPolicy:
+        return "random"
+    if tp is GHRPPolicy:
+        return "ghrp"
+    return None
+
+
+def supports(pipeline: "FrontendPipeline") -> bool:
+    """Whether this pipeline instance can run through the kernel."""
+    if kernel_kind(pipeline.policy) is None:
+        return False
+    if pipeline._classifier is not None or pipeline.pw_hit_stats is not None:
+        return False
+    if pipeline.config.perfect_uop_cache:
+        return False
+    # A pipeline that already streamed lookups (manual step() calls)
+    # carries loop state the kernel does not reconstruct.
+    if pipeline._pending or pipeline._in_flight:
+        return False
+    # The precomputed GHRP history sequence assumes the register starts
+    # at zero; a reused pipeline (back-to-back runs) falls back.
+    if (type(pipeline.policy) is GHRPPolicy
+            and pipeline.policy._history != 0):
+        return False
+    return True
+
+
+def run_kernel(pipeline: "FrontendPipeline", trace: "Trace",
+               warmup: int) -> SimulationStats:
+    """Simulate ``trace`` on ``pipeline`` through the kernel.
+
+    The caller (``FrontendPipeline.run``) is responsible for checking
+    :func:`sim_fastpath_enabled` and :func:`supports` first.
+    """
+    return _Kernel(pipeline, trace, warmup).run()
+
+
+# --- precomputed columns ------------------------------------------------------
+
+
+def _precompute(trace: "Trace", *, n_sets: int, uops_per_entry: int,
+                line_bytes: int, decode_width: int, btb_n_sets: int,
+                ic_n_sets: int, delay: int, set_index_fn) -> dict:
+    """Per-lookup derived columns for the kernel loop, memoized on the trace.
+
+    Everything here depends only on the trace contents and machine
+    geometry, so all policies simulating one trace share a single pass
+    (the memo key follows the :meth:`Trace.prepared` convention).
+    """
+    key = ("simd", n_sets, uops_per_entry, line_bytes, decode_width,
+           btb_n_sets, ic_n_sets, delay, callable_token(set_index_fn))
+    return trace.memo(key, lambda: _gc_paused(lambda: _build_columns(
+        trace, n_sets=n_sets, uops_per_entry=uops_per_entry,
+        line_bytes=line_bytes, decode_width=decode_width,
+        btb_n_sets=btb_n_sets, ic_n_sets=ic_n_sets, delay=delay,
+        set_index_fn=set_index_fn,
+    )))
+
+
+def _gc_paused(fn):
+    """Run ``fn`` with the cyclic collector paused, restoring it after.
+
+    Building the columns materializes millions of tracked containers at
+    once; with the collector live, each generation pass re-scans every
+    survivor while the build keeps allocating, which turns an O(n) build
+    into something closer to O(n^2 / threshold) at 1M-lookup scale.  The
+    column data is acyclic, so pausing costs nothing in reclaimed memory.
+    """
+    enabled = _gc.isenabled()
+    if enabled:
+        _gc.disable()
+    try:
+        return fn()
+    finally:
+        if enabled:
+            _gc.enable()
+
+
+def _build_columns(trace: "Trace", *, n_sets: int, uops_per_entry: int,
+                   line_bytes: int, decode_width: int, btb_n_sets: int,
+                   ic_n_sets: int, delay: int, set_index_fn) -> dict:
+    columns = trace.columns
+    starts = _np.frombuffer(columns.starts, dtype=_np.uint64)
+    uops = _np.frombuffer(columns.uops, dtype=_np.uint32)
+    insts = _np.frombuffer(columns.insts, dtype=_np.uint32)
+    bytes_len = _np.frombuffer(columns.bytes_len, dtype=_np.uint32)
+    flags = _np.frombuffer(columns.flags, dtype=_np.uint8)
+    n = len(starts)
+
+    # Micro-op cache set index per lookup.  The shipped hash-index
+    # function vectorizes directly; custom index functions are applied
+    # once per unique start and broadcast.
+    if set_index_fn is default_set_index:
+        si = ((starts >> _np.uint64(5)) ^ (starts >> _np.uint64(11))) \
+            % _np.uint64(n_sets)
+    else:
+        unique, inverse = _np.unique(starts, return_inverse=True)
+        per_unique = _np.fromiter(
+            (set_index_fn(int(s), n_sets) for s in unique),
+            dtype=_np.int64, count=len(unique),
+        )
+        si = per_unique[inverse]
+
+    esize = -(-uops.astype(_np.int64) // uops_per_entry)
+    first_line = (starts // _np.uint64(line_bytes)).astype(_np.int64)
+    last_line = ((starts + bytes_len.astype(_np.uint64) - _np.uint64(1))
+                 // _np.uint64(line_bytes)).astype(_np.int64)
+    # Full-miss legacy decode: cycles = max(1, ceil(insts / width)).
+    cycles = -(-insts.astype(_np.int64) // decode_width)
+    _np.maximum(cycles, 1, out=cycles)
+
+    terminated = (flags & FLAG_TERMINATED) != 0
+    mispredicted = (flags & FLAG_MISPREDICTED) != 0
+    # Branch-terminated subset for the compressed BTB pass.
+    branch_pos = _np.nonzero(terminated)[0]
+    branch_pcs = (starts[branch_pos]
+                  + bytes_len[branch_pos].astype(_np.uint64) - _np.uint64(1))
+    branch_si = (branch_pcs >> _np.uint64(2)) % _np.uint64(btb_n_sets)
+
+    # GHRP global history *before* each lookup:
+    # h' = ((h << 5) ^ (start >> 4)) & 0xFFFFF.  Four updates fully
+    # shift out the previous value, so h_i is a closed-form shift-XOR
+    # of the last four starts — an exact vectorization of the scan.
+    x = ((starts >> _np.uint64(4)) & _np.uint64(0xFFFFF)).astype(_np.uint32)
+    hist = _np.zeros(n + 1, dtype=_np.uint32)
+    for back, shift in ((1, 0), (2, 5), (3, 10), (4, 15)):
+        hist[back:] ^= x[: n - back + 1] << _np.uint32(shift)
+    hist &= _np.uint32(0xFFFFF)
+
+    # GHRP insertion signature per *scheduling* lookup.  A pending
+    # insertion scheduled by lookup m drains at exactly now = m + delay
+    # (dues are strictly increasing and now advances one lookup at a
+    # time; anything still pending at trace end uses hist[n]), and a
+    # superseding window keeps both the start and the original due, so
+    # the signature and predictor-table indices are pure functions of m.
+    drain_idx = _np.minimum(
+        _np.arange(n, dtype=_np.int64) + delay, n)
+    g_sig = (((starts >> _np.uint64(4)) ^ hist[drain_idx].astype(_np.uint64))
+             & _np.uint64(0xFFFFFFFF)).astype(_np.int64)
+
+    # Prefix sums: any segment's totals are two array reads.
+    def _prefix(arr):
+        out = _np.zeros(n + 1, dtype=_np.int64)
+        _np.cumsum(arr, out=out[1:])
+        return out
+
+    insts_l = insts.tolist()
+    bytes_l = bytes_len.tolist()
+    si_l = si.tolist()
+    esize_l = esize.tolist()
+    first_l = first_line.tolist()
+    last_l = last_line.tolist()
+    contains_l = ((flags & FLAG_CONTAINS) != 0).tolist()
+    uops_l = uops.tolist()
+    return {
+        "starts": starts.tolist(),
+        "uops": uops_l,
+        "insts": insts_l,
+        "bytes_len": bytes_l,
+        "si": si_l,
+        "esize": esize_l,
+        "first_line": first_l,
+        "last_line": last_l,
+        "contains": contains_l,
+        # Fully-built insertion requests (weight=None): when the run
+        # carries no accumulator hints — every online-policy run — the
+        # miss path schedules a precomputed tuple instead of building
+        # one.  Hinted runs rebuild the tuple with the weight slot.
+        # The trailing line span feeds the inlined insert (same values
+        # the reference derives from start/bytes at insert time).
+        "reqs": list(zip(uops_l, insts_l, bytes_l, [None] * n, si_l,
+                         esize_l, first_l, last_l)),
+        # Icache set index of the first fetch line (full-miss path).
+        "ic_si": (first_line % ic_n_sets).tolist(),
+        # Kept as an array: only indexed at segment boundaries (int()
+        # at the use sites keeps policy state on Python ints).
+        "hist": hist,
+        "g_sig": g_sig.tolist(),
+        "g_i0": ((g_sig ^ (g_sig >> 7)) & _MASK12).tolist(),
+        "g_i1": (((g_sig >> 5) ^ (g_sig >> 8)) & _MASK12).tolist(),
+        "g_i2": (((g_sig >> 10) ^ (g_sig >> 9)) & _MASK12).tolist(),
+        "branch_pos": branch_pos,
+        "branch_pcs": branch_pcs.tolist(),
+        "branch_si": branch_si.tolist(),
+        "cum_uops": _prefix(uops),
+        "cum_insts": _prefix(insts),
+        "cum_esize": _prefix(esize),
+        "cum_branches": _prefix(terminated),
+        "cum_mispred": _prefix(mispredicted & terminated),
+        # Raw arrays for fancy-indexed miss totals: the loop records
+        # *which* lookups fully missed and numpy sums their columns,
+        # instead of bumping six scalar counters per miss.
+        "arr_uops": uops.astype(_np.int64),
+        "arr_insts": insts.astype(_np.int64),
+        "arr_esize": esize,
+        "arr_cycles": cycles,
+    }
+
+
+# --- the kernel ---------------------------------------------------------------
+
+
+class _Kernel:
+    """One kernel execution: state shared across warmup/measure segments."""
+
+    def __init__(self, pipeline: "FrontendPipeline", trace: "Trace",
+                 warmup: int) -> None:
+        self.pipeline = pipeline
+        self.trace = trace
+        self.warmup = warmup
+        config = pipeline.config
+        self.kind = kernel_kind(pipeline.policy)
+        uc = config.uop_cache
+        self.ways = uc.ways
+        self.keep_larger = uc.keep_larger
+        self.delay = uc.insertion_delay
+        self.line_bytes = config.icache.line_bytes
+        self.inclusive = uc.inclusive_with_icache
+
+        self.cols = _precompute(
+            trace,
+            n_sets=uc.sets,
+            uops_per_entry=uc.uops_per_entry,
+            line_bytes=config.icache.line_bytes,
+            decode_width=config.core.decode_width,
+            btb_n_sets=pipeline.btb._n_sets,
+            ic_n_sets=config.icache.sets,
+            delay=uc.insertion_delay,
+            set_index_fn=pipeline.uop_cache._set_index,
+        )
+        self.n = len(self.cols["starts"])
+        self.hist = self.cols["hist"]
+        self.hist_now = 0
+
+        # Live policy state (mutated in place — no sync needed).
+        policy = pipeline.policy
+        kind = self.kind
+        self.lu: dict[int, int] = {}
+        self.rrpv: dict[int, int] = {}
+        if kind in ("lru", "srrip", "ghrp"):
+            self.lu = policy._last_use
+        if kind == "srrip":
+            self.rrpv = policy._rrpv_map
+            # Per-set aging offsets: effective RRPV = stored + offset,
+            # so uniform aging is O(1) instead of rewriting every way.
+            # Normalized back to absolute values in _drain/_sync_back.
+            self.rrpv_off = [0] * uc.sets
+        if kind == "ghrp":
+            self.g_tables = policy._tables
+            self.g_sig = policy._sig
+            self.g_reused = policy._reused
+            self.g_bypassed = policy._bypassed
+            self.g_window = policy._BYPASS_FEEDBACK_WINDOW
+        if kind == "random":
+            self.rng_shuffle = policy._rng.shuffle
+            self.rng_getrandbits = policy._rng.getrandbits
+
+        # Kernel-side storage mirrors (synced back to the real objects
+        # at the end of the run), seeded from current cache contents so
+        # back-to-back runs on one pipeline keep their state.
+        self.sets_pws: list[dict[int, list]] = []
+        self.used_ways: list[int] = []
+        line_bytes = self.line_bytes
+        lu_get = self.lu.get
+        seeded: dict[int, list] = {}
+        for set_index, cset in enumerate(pipeline.uop_cache.sets):
+            kernel_set: dict[int, list] = {}
+            for start, spw in cset.pws.items():
+                rec = [spw.uops, spw.size, set_index, spw.insts,
+                       spw.bytes_len, spw.weight, start // line_bytes,
+                       (start + spw.bytes_len - 1) // line_bytes,
+                       lu_get(start, -1), None, False]
+                if kind == "srrip":
+                    rec[_AUX] = self.rrpv.get(start, RRPV_MAX)
+                elif kind == "ghrp":
+                    sg = self.g_sig.get(start)
+                    if sg is None:
+                        rec[_G_I0:] = [None, None, None,
+                                       self.g_reused.get(start, False), None]
+                    else:
+                        rec[_G_I0:] = [
+                            (sg ^ sg >> 7) & _MASK12,
+                            (sg >> 5 ^ sg >> 8) & _MASK12,
+                            (sg >> 10 ^ sg >> 9) & _MASK12,
+                            self.g_reused.get(start, False), sg]
+                kernel_set[start] = rec
+                seeded[start] = rec
+            self.sets_pws.append(kernel_set)
+            self.used_ways.append(cset.used_ways)
+        # ``resident`` doubles as the rebuild order for the policy dicts
+        # at the end of the run (reference dicts keep insertion order:
+        # pre-run survivors first, then new inserts chronologically), so
+        # seed it in the policy dict's own key order, not set-scan order.
+        self.resident: dict[int, list] = {}
+        if kind in ("lru", "srrip", "ghrp") and self.lu:
+            for start in self.lu:
+                rec = seeded.get(start)
+                if rec is not None:
+                    self.resident[start] = rec
+            if len(self.resident) != len(seeded):
+                for start, rec in seeded.items():
+                    if start not in self.resident:
+                        self.resident[start] = rec
+        else:
+            self.resident = seeded
+        # The line reverse map is used (and mutated) live.
+        self.line_map = pipeline.uop_cache._line_map
+        # Scheduling indices of pending insertions (due = m + delay,
+        # start = starts[m]); strictly increasing, so always sorted.
+        self.pending: deque[int] = deque()
+        self.in_flight: dict[int, tuple] = {}
+        self.on_uop_path = pipeline._on_uop_path
+
+        # Structure-object counter accumulators (synced at the end).
+        self.ic_accesses = 0
+        self.ic_misses = 0
+        self.btb_accesses = 0
+        self.btb_misses = 0
+        self.dec_episodes = 0
+        self.dec_insts = 0
+        self.dec_uops = 0
+        self.dec_cycles = 0
+        self.accumulated = 0
+        self.cache_evictions = 0
+        self.cache_evicted_entries = 0
+        self.cache_invalidations = 0
+        self.cache_upgrades = 0
+        # Stats-level insertion counters (folded into the active
+        # segment's stats, then reset — mutated by _attempt/_remove).
+        self.st_attempts = 0
+        self.st_insertions = 0
+        self.st_bypasses = 0
+        self.st_writes = 0
+        self.st_evictions = 0
+        self.st_evicted_entries = 0
+
+    # --- orchestration -------------------------------------------------------
+
+    def run(self) -> SimulationStats:
+        pipeline = self.pipeline
+        n = self.n
+        warmup = self.warmup
+        segment = self._segment
+        if os.environ.get("REPRO_SIM_SPECIALIZE", "1") != "0":
+            kind = self.kind
+            spec = _specialized_segment({
+                "is_lru": kind == "lru",
+                "is_srrip": kind == "srrip",
+                "is_ghrp": kind == "ghrp",
+                "track_lu": kind in ("lru", "srrip"),
+                "keep_larger": self.keep_larger,
+                "has_hints": bool(pipeline.accumulator._hints),
+                "perfect_icache": pipeline.config.perfect_icache,
+                "inclusive": self.inclusive,
+                "inline_shuffle": _INLINE_SHUFFLE,
+            })
+            if spec is not None:
+                segment = spec.__get__(self)
+        # The kernel's working set is acyclic (columns of ints/tuples plus
+        # flat list records), so the cyclic collector can only cost time
+        # here: every gen-2 pass re-scans the millions of column pointers
+        # while the hot loop's record churn keeps triggering collections.
+        # Refcounting frees everything the loop drops; pause the collector
+        # for the duration and restore the caller's setting afterwards.
+        gc_was_enabled = _gc.isenabled()
+        if gc_was_enabled:
+            _gc.disable()
+        try:
+            with stagetimer.timed("sim_kernel"):
+                if 0 < warmup < n:
+                    segment(0, warmup)
+                    pipeline.stats = SimulationStats()
+                    segment(warmup, n)
+                else:
+                    segment(0, n)
+                self._drain(n)
+        finally:
+            if gc_was_enabled:
+                _gc.enable()
+        self._sync_back()
+        return pipeline._finalize(n)
+
+    def _rebuild_policy_dicts(self) -> None:
+        """Refill the live policy dicts from the resident records.
+
+        The hot loop maintains policy state in the records only; the
+        reference's dicts are reconstructed here (before the drain-time
+        attempts, which go back to mirroring both views).  ``resident``
+        iterates in exact reference insertion order — pre-run survivors
+        first, then surviving inserts chronologically (an upgrade or a
+        re-insert after eviction re-appends, in both engines) — so key
+        order, not just content, matches the reference dicts.
+        """
+        kind = self.kind
+        if kind == "random":
+            return
+        lu = self.lu
+        lu.clear()
+        if kind == "lru":
+            for s, rec in self.resident.items():
+                lu[s] = rec[_LU]
+        elif kind == "srrip":
+            # Fold the per-set aging offsets back into absolute RRPV
+            # values; _attempt/_rank (and the policy object afterwards)
+            # speak absolutes.
+            off = self.rrpv_off
+            rrpv = self.rrpv
+            rrpv.clear()
+            for s, rec in self.resident.items():
+                o = off[rec[_SET]]
+                if o:
+                    rec[_AUX] += o
+                lu[s] = rec[_LU]
+                rrpv[s] = rec[_AUX]
+            self.rrpv_off = [0] * len(off)
+        else:  # ghrp
+            g_sig = self.g_sig
+            g_reused = self.g_reused
+            g_sig.clear()
+            g_reused.clear()
+            for s, rec in self.resident.items():
+                sg = rec[_G_SIG]
+                if sg is not None:
+                    g_sig[s] = sg
+                g_reused[s] = rec[_G_REUSED]
+                lu[s] = rec[_LU]
+
+    def _drain(self, n: int) -> None:
+        """Complete insertions still in flight at trace end."""
+        self._rebuild_policy_dicts()
+        now = n + self.delay
+        self.hist_now = int(self.hist[n])
+        pending = self.pending
+        in_flight = self.in_flight
+        starts_l = self.cols["starts"]
+        delay = self.delay
+        # Pending entries are scheduling indices: due = m + delay and
+        # start = starts[m] are both derivable, so nothing else is stored.
+        while pending and pending[0] + delay <= now:
+            start = starts_l[pending.popleft()]
+            request = in_flight.pop(start, None)
+            if request is None:
+                continue
+            self._attempt(now, start, request)
+        stats = self.pipeline.stats
+        stats.insertion_attempts += self.st_attempts
+        stats.insertions += self.st_insertions
+        stats.bypasses += self.st_bypasses
+        stats.uop_cache_writes += self.st_writes
+        stats.evictions += self.st_evictions
+        stats.evicted_entries += self.st_evicted_entries
+        self.st_attempts = self.st_insertions = self.st_bypasses = 0
+        self.st_writes = self.st_evictions = self.st_evicted_entries = 0
+
+    def _sync_back(self) -> None:
+        """Propagate kernel state into the pipeline's real structures."""
+        pipeline = self.pipeline
+        icache = pipeline.icache
+        icache.accesses += self.ic_accesses
+        icache.misses += self.ic_misses
+        btb = pipeline.btb
+        btb.accesses += self.btb_accesses
+        btb.misses += self.btb_misses
+        decoder = pipeline.decoder
+        decoder.episodes += self.dec_episodes
+        decoder.insts_decoded += self.dec_insts
+        decoder.uops_decoded += self.dec_uops
+        decoder.active_cycles += self.dec_cycles
+        pipeline.accumulator.accumulated += self.accumulated
+        cache = pipeline.uop_cache
+        cache.eviction_count += self.cache_evictions
+        cache.evicted_entries += self.cache_evicted_entries
+        cache.inclusive_invalidations += self.cache_invalidations
+        cache.upgrades += self.cache_upgrades
+        # The in-run line map is append-only (removals leave stale
+        # starts behind; readers re-validate against ``resident``), so
+        # rebuild the exact reverse map the reference maintains.
+        line_map: dict[int, set[int]] = {}
+        for start, rec in self.resident.items():
+            for line in range(rec[_LINE0], rec[_LINE1] + 1):
+                starts = line_map.get(line)
+                if starts is None:
+                    line_map[line] = {start}
+                else:
+                    starts.add(start)
+        cache._line_map = line_map
+        pipeline._on_uop_path = self.on_uop_path
+        if self.kind == "ghrp":
+            pipeline.policy._history = int(self.hist[self.n])
+        # Rebuild resident StoredPW objects so post-run cache probes
+        # (tests, notebooks) see the expected contents.  Way-slot ids
+        # are reassigned in residency order; kernel-eligible policies
+        # never read them.
+        for set_index, kernel_set in enumerate(self.sets_pws):
+            cset = cache.sets[set_index]
+            free = list(range(self.ways))
+            pws: dict[int, StoredPW] = {}
+            for start, rec in kernel_set.items():
+                size = rec[_SIZE]
+                slots = tuple(free[:size])
+                del free[:size]
+                pws[start] = StoredPW(
+                    start=start, uops=rec[_UOPS], insts=rec[_INSTS],
+                    bytes_len=rec[_BYTES], size=size, weight=rec[_WEIGHT],
+                    slots=slots,
+                    lines=range(rec[_LINE0], rec[_LINE1] + 1),
+                )
+            cset.pws = pws
+            cset.used_ways = self.used_ways[set_index]
+            cset.free_slots = free  # ascending == valid min-heap
+
+    # --- GHRP predictor helpers ----------------------------------------------
+
+    def _predict(self, signature: int) -> int:
+        t0, t1, t2 = self.g_tables
+        return (
+            t0[(signature ^ signature >> 7) & _MASK12]
+            + t1[(signature >> 5 ^ signature >> 8) & _MASK12]
+            + t2[(signature >> 10 ^ signature >> 9) & _MASK12]
+        )
+
+    def _train(self, signature: int, dead: bool) -> None:
+        t0, t1, t2 = self.g_tables
+        i0 = (signature ^ signature >> 7) & _MASK12
+        i1 = (signature >> 5 ^ signature >> 8) & _MASK12
+        i2 = (signature >> 10 ^ signature >> 9) & _MASK12
+        if dead:
+            if t0[i0] < 3:
+                t0[i0] += 1
+            if t1[i1] < 3:
+                t1[i1] += 1
+            if t2[i2] < 3:
+                t2[i2] += 1
+        else:
+            if t0[i0] > 0:
+                t0[i0] -= 1
+            if t1[i1] > 0:
+                t1[i1] -= 1
+            if t2[i2] > 0:
+                t2[i2] -= 1
+
+    # --- storage engine ------------------------------------------------------
+
+    def _remove(self, now: int, start: int, rec: list, reason: int) -> None:
+        """Evict a resident record (mirrors ``UopCache._remove``).
+
+        The line map is left as-is (stale starts are re-validated by the
+        inclusive-invalidation scan and the map is rebuilt exactly in
+        ``_sync_back``).  The policy-dict pops only matter during the
+        final drain, after ``_rebuild_policy_dicts`` has refreshed the
+        dicts; before that they are no-ops on state that gets rebuilt.
+        """
+        del self.sets_pws[rec[_SET]][start]
+        del self.resident[start]
+        self.used_ways[rec[_SET]] -= rec[_SIZE]
+        if reason == _REPLACEMENT:
+            self.cache_evictions += 1
+            self.cache_evicted_entries += rec[_SIZE]
+        elif reason == _INCLUSIVE:
+            self.cache_invalidations += 1
+        else:
+            self.cache_upgrades += 1
+        kind = self.kind
+        if kind == "lru":
+            self.lu.pop(start, None)
+        elif kind == "srrip":
+            self.rrpv.pop(start, None)
+            self.lu.pop(start, None)
+        elif kind == "ghrp":
+            if reason != _UPGRADE:
+                i0 = rec[_G_I0]
+                if i0 is not None and not rec[_G_REUSED]:
+                    t0, t1, t2 = self.g_tables
+                    if t0[i0] < 3:
+                        t0[i0] += 1
+                    i1 = rec[_G_I1]
+                    if t1[i1] < 3:
+                        t1[i1] += 1
+                    i2 = rec[_G_I2]
+                    if t2[i2] < 3:
+                        t2[i2] += 1
+            self.g_sig.pop(start, None)
+            self.g_reused.pop(start, None)
+            self.lu.pop(start, None)
+
+    def _attempt(self, now: int, start: int, request: tuple) -> None:
+        """One insertion attempt (mirrors ``UopCache.try_insert``)."""
+        self.st_attempts += 1
+        uops, insts, bytes_len, weight, set_index, size = request[:6]
+        ways = self.ways
+        if size > ways:
+            self.st_bypasses += 1
+            return
+        cset = self.sets_pws[set_index]
+        existing = cset.get(start)
+        if existing is not None:
+            if self.keep_larger and existing[_UOPS] >= uops:
+                self.st_bypasses += 1
+                return
+            extra_needed = size - existing[_SIZE]
+        else:
+            extra_needed = size
+        need = extra_needed - (ways - self.used_ways[set_index])
+        kind = self.kind
+        sig = 0
+        if kind == "ghrp":
+            sig = ((start >> 4) ^ self.hist_now) & 0xFFFFFFFF
+            if self._predict(sig) >= _BYPASS_THRESHOLD:
+                bypassed = self.g_bypassed
+                bypassed[start] = (sig, now)
+                if len(bypassed) > 1 << 16:  # pragma: no cover - bound
+                    bypassed.clear()
+                self.st_bypasses += 1
+                return
+        if need > 0:
+            candidates = [s for s, r in cset.items() if r is not existing]
+            ranked = self._rank(cset, candidates, kind)
+            victims = []
+            freed = 0
+            for victim in ranked:
+                victims.append(victim)
+                freed += cset[victim][_SIZE]
+                if freed >= need:
+                    break
+            if freed < need:
+                # The set genuinely cannot host the PW; bypass (same
+                # fallback as ReplacementPolicy.choose_victims).
+                self.st_bypasses += 1
+                return
+            for victim in victims:
+                rec = cset[victim]
+                self.st_evictions += 1
+                self.st_evicted_entries += rec[_SIZE]
+                self._remove(now, victim, rec, _REPLACEMENT)
+        if existing is not None:
+            # Upgrade in place: same tag, more entries (keep-larger).
+            if weight is None:
+                weight = existing[_WEIGHT]
+            self._remove(now, start, existing, _UPGRADE)
+        line_bytes = self.line_bytes
+        first_line = start // line_bytes
+        last_line = (start + bytes_len - 1) // line_bytes
+        rec = [uops, size, set_index, insts, bytes_len, weight,
+               first_line, last_line, now, None, False]
+        cset[start] = rec
+        self.resident[start] = rec
+        self.used_ways[set_index] += size
+        line_map = self.line_map
+        for line in range(first_line, last_line + 1):
+            starts = line_map.get(line)
+            if starts is None:
+                line_map[line] = {start}
+            else:
+                starts.add(start)
+        self.st_insertions += 1
+        self.st_writes += size
+        if kind == "lru":
+            self.lu[start] = now
+        elif kind == "srrip":
+            # Offsets are normalized before drain-time attempts run,
+            # so the absolute insert value is also the raw one.
+            self.rrpv[start] = RRPV_INSERT
+            rec[_AUX] = RRPV_INSERT
+            self.lu[start] = now
+        elif kind == "ghrp":
+            self.g_sig[start] = sig
+            rec[_G_I0:] = [(sig ^ sig >> 7) & _MASK12,
+                           (sig >> 5 ^ sig >> 8) & _MASK12,
+                           (sig >> 10 ^ sig >> 9) & _MASK12,
+                           False, sig]
+            self.g_reused[start] = False
+            self.lu[start] = now
+
+    def _rank(self, cset: dict[int, list], candidates: list[int],
+              kind: str) -> list[int]:
+        """Victim preference order (mirrors each policy's victim_order).
+
+        Reads policy state from the records (the only live copy during
+        the run); ties break in candidate order, matching the
+        reference's stable sorts over the same orderings.
+        """
+        if kind == "lru":
+            order = sorted((cset[s][_LU], i)
+                           for i, s in enumerate(candidates))
+            return [candidates[i] for _, i in order]
+        if kind == "random":
+            order = list(candidates)
+            self.rng_shuffle(order)
+            return order
+        if kind == "srrip":
+            # Only reachable at drain time, after offsets are folded
+            # back (raw == absolute); aging keeps dict and records in
+            # lockstep like the reference's bulk rewrite.
+            if not candidates:
+                return []
+            values = [cset[s][_AUX] for s in candidates]
+            current_max = max(values)
+            if current_max < RRPV_MAX:
+                delta = RRPV_MAX - current_max
+                values = [value + delta for value in values]
+                rrpv = self.rrpv
+                for s, value in zip(candidates, values):
+                    rrpv[s] = value
+                    cset[s][_AUX] = value
+            decorated = [
+                (-values[i], cset[s][_LU], i, s)
+                for i, s in enumerate(candidates)
+            ]
+            decorated.sort()
+            return [entry[3] for entry in decorated]
+        # ghrp: dead-predicted first, ties broken by LRU.
+        t0, t1, t2 = self.g_tables
+        decorated = []
+        for i, s in enumerate(candidates):
+            r = cset[s]
+            i0 = r[_G_I0]
+            dead = i0 is not None and (
+                t0[i0] + t1[r[_G_I1]] + t2[r[_G_I2]] >= _DEAD_THRESHOLD)
+            decorated.append((0 if dead else 1, r[_LU], i, s))
+        decorated.sort()
+        return [entry[3] for entry in decorated]
+
+    # --- main loop -----------------------------------------------------------
+
+    def _segment(self, begin: int, end: int) -> None:
+        """Simulate lookups ``[begin, end)`` into ``pipeline.stats``."""
+        pipeline = self.pipeline
+        stats = pipeline.stats
+        cfg = pipeline.config
+        cols = self.cols
+
+        perfect_bp = cfg.perfect_branch_predictor
+        perfect_icache = cfg.perfect_icache
+        inclusive = self.inclusive
+        line_bytes = self.line_bytes
+        decode_width = cfg.core.decode_width
+        delay = self.delay
+
+        starts_l = cols["starts"]
+        uops_l = cols["uops"]
+        reqs_l = cols["reqs"]
+        ff_l = cols["first_line"]
+        fl_l = cols["last_line"]
+        cont_l = cols["contains"]
+        ic_si_l = cols["ic_si"]
+
+        kind = self.kind
+        is_lru = kind == "lru"
+        is_ghrp = kind == "ghrp"
+        is_srrip = kind == "srrip"
+        track_lu = is_lru or is_srrip
+        if is_srrip:
+            rrpv_off = self.rrpv_off
+        if is_ghrp:
+            g_bypassed = self.g_bypassed
+            g_bypassed_pop = g_bypassed.pop
+            g_window = self.g_window
+            t0, t1, t2 = self.g_tables
+            g_sig_l = cols["g_sig"]
+            g_i0_l = cols["g_i0"]
+            g_i1_l = cols["g_i1"]
+            g_i2_l = cols["g_i2"]
+        elif kind == "random":
+            rng_shuffle = self.rng_shuffle
+            getrandbits = self.rng_getrandbits
+            inline_shuffle = _INLINE_SHUFFLE
+            # Bit lengths for rejection sampling, indexed by population
+            # count (a set holds at most ``ways`` single-entry PWs).
+            bitlen = [n.bit_length() for n in range(self.ways + 2)]
+
+        ways = self.ways
+        keep_larger = self.keep_larger
+        sets_pws = self.sets_pws
+        used_ways = self.used_ways
+        resident = self.resident
+        resident_get = resident.get
+        pending = self.pending
+        pending_append = pending.append
+        pending_popleft = pending.popleft
+        in_flight = self.in_flight
+        in_flight_get = in_flight.get
+        in_flight_pop = in_flight.pop
+        in_flight_setdefault = in_flight.setdefault
+        rank = self._rank
+        remove = self._remove
+
+        hints = pipeline.accumulator._hints
+        has_hints = bool(hints)
+        hints_get = hints.get
+
+        icache = pipeline.icache
+        isets = icache._sets
+        ic_n_sets = icache.config.sets
+        ic_ways = icache.config.ways
+        line_map = self.line_map
+        line_map_get = line_map.get
+
+        # --- compressed BTB pass (independent of cache state) ---
+        if not cfg.perfect_btb:
+            btb = pipeline.btb
+            bsets = btb._sets
+            btb_ways = btb.config.btb_ways
+            branch_pos = cols["branch_pos"]
+            lo = int(_np.searchsorted(branch_pos, begin))
+            hi = int(_np.searchsorted(branch_pos, end))
+            btb_misses = 0
+            prev_pc = None
+            for pc, bi in zip(cols["branch_pcs"][lo:hi],
+                              cols["branch_si"][lo:hi]):
+                if pc == prev_pc:
+                    continue  # still the MRU entry of its set
+                prev_pc = pc
+                bset = bsets[bi]
+                if pc in bset:
+                    bset.move_to_end(pc)
+                else:
+                    btb_misses += 1
+                    if len(bset) >= btb_ways:
+                        bset.popitem(last=False)
+                    bset[pc] = None
+            self.btb_accesses += hi - lo
+            self.btb_misses += btb_misses
+            stats.btb_misses += btb_misses
+
+        # --- segment-local counters ---
+        pw_partial_hits = 0
+        uops_missed = 0
+        reads_corr = 0
+        path_switches = icache_accesses = inclusive_invalidations = 0
+        dec_episodes = dec_insts = dec_uops = dec_cycles = 0
+        ic_acc = ic_miss = 0
+        accumulated = 0
+        insertions = bypasses = writes = 0
+        evictions = evicted_entries = 0
+        cache_upgrades = 0
+        on_uop_path = self.on_uop_path
+        # Full misses record their index only; the per-miss totals are
+        # numpy fancy-indexed sums over the precomputed columns.
+        miss_idx: list[int] = []
+        miss_append = miss_idx.append
+        ic_prev = None  # last icache line touched (still MRU in its set)
+        NEVER = 1 << 62  # int sentinel keeps the per-lookup compare int-int
+        next_due = pending[0] + delay if pending else NEVER
+        sig = i0 = i1 = i2 = 0
+
+        for now, start, uops in zip(range(begin, end),
+                                    starts_l[begin:end], uops_l[begin:end]):
+            if next_due <= now:
+                lim = now - delay
+                while pending and pending[0] <= lim:
+                    qi = pending_popleft()
+                    queued_start = starts_l[qi]
+                    request = in_flight_pop(queued_start, None)
+                    if request is None:
+                        continue  # superseded and already completed
+                    # --- inlined insertion attempt; the drain-time
+                    # _attempt method is the readable reference for
+                    # this block — keep them in lockstep.  (Attempts
+                    # are not counted here: every attempt ends as
+                    # exactly one insertion or bypass, so the fold
+                    # derives the total.) ---
+                    (q_uops, q_insts, q_bytes, q_weight, q_si, q_size,
+                     q_line0, q_line1) = request
+                    if q_size > ways:
+                        bypasses += 1
+                        continue
+                    cset = sets_pws[q_si]
+                    existing = cset.get(queued_start)
+                    if existing is None:
+                        need = q_size - ways + used_ways[q_si]
+                    elif keep_larger and existing[0] >= q_uops:
+                        bypasses += 1
+                        continue
+                    else:
+                        need = (q_size - existing[1]
+                                - ways + used_ways[q_si])
+                    if is_ghrp:
+                        # Signature and table indices were vectorized at
+                        # column-build time, keyed by scheduling index.
+                        sig = g_sig_l[qi]
+                        i0 = g_i0_l[qi]
+                        i1 = g_i1_l[qi]
+                        i2 = g_i2_l[qi]
+                        if t0[i0] + t1[i1] + t2[i2] >= _BYPASS_THRESHOLD:
+                            g_bypassed[queued_start] = (sig, now)
+                            if len(g_bypassed) > 1 << 16:
+                                g_bypassed.clear()
+                            bypasses += 1
+                            continue
+                    if need > 0:
+                        if existing is not None:
+                            # Rare: an upgrade that must evict others.
+                            cands = [s for s in cset if s != queued_start]
+                            if is_srrip:
+                                # Offset-space ranking.  The reference
+                                # ages only the candidates (the upgraded
+                                # entry is excluded), so a positive
+                                # offset bump must compensate the
+                                # excluded entry's raw value instead.
+                                vals = [cset[s][9] for s in cands]
+                                if vals:
+                                    off_si = rrpv_off[q_si]
+                                    delta = RRPV_MAX - max(vals) - off_si
+                                    if delta > 0:
+                                        rrpv_off[q_si] = off_si + delta
+                                        existing[9] -= delta
+                                order = sorted(
+                                    (-vals[i], cset[s][8], i)
+                                    for i, s in enumerate(cands))
+                                ranked = [cands[i] for _, _, i in order]
+                            else:
+                                ranked = rank(cset, cands, kind)
+                            victims = []
+                            freed = 0
+                            for vs in ranked:
+                                victims.append(vs)
+                                freed += cset[vs][1]
+                                if freed >= need:
+                                    break
+                            if freed < need:
+                                bypasses += 1
+                                continue
+                        elif is_lru:
+                            # First victim = argmin recency; ties keep
+                            # residency order (== stable-sort prefix).
+                            best_s = best_r = None
+                            best_v = 0
+                            for s, r in cset.items():
+                                v = r[8]
+                                if best_s is None or v < best_v:
+                                    best_s = s
+                                    best_r = r
+                                    best_v = v
+                            if best_r[1] >= need:
+                                victims = (best_s,)
+                            else:
+                                # Next victims by repeated argmin with
+                                # exclusion — picks in exactly the
+                                # stable (lu, residency) sort order.
+                                victims = [best_s]
+                                freed = best_r[1]
+                                while freed < need:
+                                    nbs = nbr = None
+                                    nbv = 0
+                                    for s, r in cset.items():
+                                        if s in victims:
+                                            continue
+                                        v = r[8]
+                                        if nbs is None or v < nbv:
+                                            nbs = s
+                                            nbr = r
+                                            nbv = v
+                                    if nbs is None:
+                                        break
+                                    victims.append(nbs)
+                                    freed += nbr[1]
+                        elif is_srrip:
+                            # Raw RRPV values (absolute - offset) live
+                            # in the records.  Uniform aging shifts the
+                            # whole set, so raw order == absolute order
+                            # and aging is a single offset bump instead
+                            # of N dict writes.  The argmax's best_v IS
+                            # max(raw), which prices the bump.
+                            best_s = best_r = None
+                            best_v = best_lu = 0
+                            for s, r in cset.items():
+                                v = r[9]
+                                if (best_s is None or v > best_v
+                                        or (v == best_v and r[8] < best_lu)):
+                                    best_s = s
+                                    best_r = r
+                                    best_v = v
+                                    best_lu = r[8]
+                            off_si = rrpv_off[q_si]
+                            delta = RRPV_MAX - best_v - off_si
+                            if delta > 0:
+                                rrpv_off[q_si] = off_si + delta
+                            if best_r[1] >= need:
+                                victims = (best_s,)
+                            else:
+                                # Next victims by repeated argmax with
+                                # exclusion — exactly the reference's
+                                # stable (-rrpv, lu, residency) order.
+                                victims = [best_s]
+                                freed = best_r[1]
+                                while freed < need:
+                                    nbs = nbr = None
+                                    nbv = nbl = 0
+                                    for s, r in cset.items():
+                                        if s in victims:
+                                            continue
+                                        v = r[9]
+                                        if (nbs is None or v > nbv
+                                                or (v == nbv
+                                                    and r[8] < nbl)):
+                                            nbs = s
+                                            nbr = r
+                                            nbv = v
+                                            nbl = r[8]
+                                    if nbs is None:
+                                        break
+                                    victims.append(nbs)
+                                    freed += nbr[1]
+                        elif is_ghrp:
+                            best_s = best_r = None
+                            best_d = 2
+                            best_lu = 0
+                            for s, r in cset.items():
+                                vi0 = r[9]
+                                if vi0 is not None and (
+                                    t0[vi0] + t1[r[10]] + t2[r[11]]
+                                    >= _DEAD_THRESHOLD
+                                ):
+                                    d = 0
+                                else:
+                                    d = 1
+                                lu_s = r[8]
+                                if (best_s is None or d < best_d
+                                        or (d == best_d and lu_s < best_lu)):
+                                    best_s = s
+                                    best_r = r
+                                    best_d = d
+                                    best_lu = lu_s
+                            if best_r[1] >= need:
+                                victims = (best_s,)
+                            else:
+                                # Repeated argmin with exclusion over
+                                # the stable (dead, lu, residency) key;
+                                # the tables only train at removal time,
+                                # after selection, so re-evaluating
+                                # deadness per pass is exact.
+                                victims = [best_s]
+                                freed = best_r[1]
+                                while freed < need:
+                                    nbs = nbr = None
+                                    nbd = 2
+                                    nbl = 0
+                                    for s, r in cset.items():
+                                        if s in victims:
+                                            continue
+                                        vi0 = r[9]
+                                        if vi0 is not None and (
+                                            t0[vi0] + t1[r[10]] + t2[r[11]]
+                                            >= _DEAD_THRESHOLD
+                                        ):
+                                            d = 0
+                                        else:
+                                            d = 1
+                                        if (nbs is None or d < nbd
+                                                or (d == nbd
+                                                    and r[8] < nbl)):
+                                            nbs = s
+                                            nbr = r
+                                            nbd = d
+                                            nbl = r[8]
+                                    if nbs is None:
+                                        break
+                                    victims.append(nbs)
+                                    freed += nbr[1]
+                        else:  # random
+                            cands = list(cset)
+                            if inline_shuffle:
+                                # Exact CPython Random.shuffle, with the
+                                # _randbelow call layers peeled off (the
+                                # import-time check guarantees identical
+                                # draws and final RNG state).
+                                for fy in range(len(cands) - 1, 0, -1):
+                                    nn = fy + 1
+                                    k = bitlen[nn]
+                                    rr = getrandbits(k)
+                                    while rr >= nn:
+                                        rr = getrandbits(k)
+                                    cands[fy], cands[rr] = \
+                                        cands[rr], cands[fy]
+                            else:  # pragma: no cover - stdlib changed
+                                rng_shuffle(cands)
+                            victims = []
+                            freed = 0
+                            for vs in cands:
+                                victims.append(vs)
+                                freed += cset[vs][1]
+                                if freed >= need:
+                                    break
+                        # --- inlined removals (reason: replacement).
+                        # Stale line-map entries are left behind (the
+                        # invalidation scan re-validates), and policy
+                        # dicts are rebuilt from the records at drain
+                        # time, so only the storage views update here.
+                        freed = 0
+                        for vs in victims:
+                            vrec = cset[vs]
+                            del cset[vs]
+                            del resident[vs]
+                            vsize = vrec[1]
+                            freed += vsize
+                            evictions += 1
+                            evicted_entries += vsize
+                            if is_ghrp:
+                                vi0 = vrec[9]
+                                if vi0 is not None and not vrec[12]:
+                                    c = t0[vi0]
+                                    if c < 3:
+                                        t0[vi0] = c + 1
+                                    vi1 = vrec[10]
+                                    c = t1[vi1]
+                                    if c < 3:
+                                        t1[vi1] = c + 1
+                                    vi2 = vrec[11]
+                                    c = t2[vi2]
+                                    if c < 3:
+                                        t2[vi2] = c + 1
+                        used_ways[q_si] -= freed
+                    if existing is not None:
+                        # Upgrade in place (keep-larger merge); no
+                        # dead-training on upgrades.
+                        if q_weight is None:
+                            q_weight = existing[5]
+                        del cset[queued_start]
+                        del resident[queued_start]
+                        used_ways[q_si] -= existing[1]
+                        cache_upgrades += 1
+                    # --- inlined insert (line span precomputed in the
+                    # request: same derivation the reference applies to
+                    # start/bytes at insert time) ---
+                    line0 = q_line0
+                    line1 = q_line1
+                    if is_ghrp:
+                        nrec = [q_uops, q_size, q_si, q_insts, q_bytes,
+                                q_weight, line0, line1, now,
+                                i0, i1, i2, False, sig]
+                    elif is_srrip:
+                        nrec = [q_uops, q_size, q_si, q_insts, q_bytes,
+                                q_weight, line0, line1, now,
+                                RRPV_INSERT - rrpv_off[q_si], False]
+                    else:
+                        nrec = [q_uops, q_size, q_si, q_insts, q_bytes,
+                                q_weight, line0, line1, now, None, False]
+                    cset[queued_start] = nrec
+                    resident[queued_start] = nrec
+                    used_ways[q_si] += q_size
+                    if line0 == line1:
+                        lstarts = line_map_get(line0)
+                        if lstarts is None:
+                            line_map[line0] = {queued_start}
+                        else:
+                            lstarts.add(queued_start)
+                    else:
+                        for line in range(line0, line1 + 1):
+                            lstarts = line_map_get(line)
+                            if lstarts is None:
+                                line_map[line] = {queued_start}
+                            else:
+                                lstarts.add(queued_start)
+                    insertions += 1
+                    writes += q_size
+                next_due = pending[0] + delay if pending else NEVER
+
+            if is_ghrp and g_bypassed and start in g_bypassed:
+                entry = g_bypassed_pop(start)
+                if now - entry[1] <= g_window:
+                    bsg = entry[0]
+                    bi = (bsg ^ bsg >> 7) & _MASK12
+                    c = t0[bi]
+                    if c > 0:
+                        t0[bi] = c - 1
+                    bi = (bsg >> 5 ^ bsg >> 8) & _MASK12
+                    c = t1[bi]
+                    if c > 0:
+                        t1[bi] = c - 1
+                    bi = (bsg >> 10 ^ bsg >> 9) & _MASK12
+                    c = t2[bi]
+                    if c > 0:
+                        t2[bi] = c - 1
+
+            rec = resident_get(start)
+            if rec is not None and rec[0] >= uops:
+                # Full hit: probe + recency stamp, everything else is
+                # reconstructed from the prefix sums afterwards.
+                if track_lu:
+                    rec[8] = now
+                    if is_srrip:
+                        rec[9] = RRPV_HIT - rrpv_off[rec[2]]
+                elif is_ghrp:
+                    rec[8] = now
+                    if not rec[12]:
+                        rec[12] = True
+                        hi0 = rec[9]
+                        if hi0 is not None:
+                            c = t0[hi0]
+                            if c > 0:
+                                t0[hi0] = c - 1
+                            hi1 = rec[10]
+                            c = t1[hi1]
+                            if c > 0:
+                                t1[hi1] = c - 1
+                            hi2 = rec[11]
+                            c = t2[hi2]
+                            if c > 0:
+                                t2[hi2] = c - 1
+                if not on_uop_path:
+                    path_switches += 1
+                    on_uop_path = True
+                continue
+
+            request = reqs_l[now]
+            if rec is None:
+                # Full miss: record the index; totals are fancy-indexed
+                # numpy sums at segment fold time.
+                miss_append(now)
+                if on_uop_path:
+                    path_switches += 1
+                    on_uop_path = False
+                fetch_first = ff_l[now]
+                fetch_last = fl_l[now]
+            else:
+                # Partial hit: stored prefix served, remainder decodes,
+                # merged larger window is scheduled for insertion.
+                served = rec[0]
+                missed = uops - served
+                insts_now = request[1]
+                pw_partial_hits += 1
+                uops_missed += missed
+                reads_corr += rec[1] - request[5]
+                missed_insts = max(1, round(insts_now * missed / uops))
+                dec_episodes += 1
+                dec_insts += missed_insts
+                dec_uops += missed
+                cycles = -(-missed_insts // decode_width)
+                dec_cycles += cycles if cycles > 1 else 1
+                if track_lu:
+                    rec[8] = now
+                    if is_srrip:
+                        rec[9] = RRPV_HIT - rrpv_off[rec[2]]
+                elif is_ghrp:
+                    rec[8] = now
+                    if not rec[12]:
+                        rec[12] = True
+                        hi0 = rec[9]
+                        if hi0 is not None:
+                            c = t0[hi0]
+                            if c > 0:
+                                t0[hi0] = c - 1
+                            hi1 = rec[10]
+                            c = t1[hi1]
+                            if c > 0:
+                                t1[hi1] = c - 1
+                            hi2 = rec[11]
+                            c = t2[hi2]
+                            if c > 0:
+                                t2[hi2] = c - 1
+                path_switches += 1 if on_uop_path else 2
+                on_uop_path = False
+                fetch_start = start + rec[4]
+                fetch_end = start + request[2]
+                fetch_first = fetch_start // line_bytes
+                if fetch_end > fetch_start:
+                    fetch_last = (fetch_end - 1) // line_bytes
+                else:
+                    fetch_last = fetch_first
+
+            n_lines = fetch_last - fetch_first + 1
+            icache_accesses += n_lines
+            if not perfect_icache:
+                ic_acc += n_lines
+                # Same line as the previous icache access: still the MRU
+                # entry of its set (nothing has touched that set since),
+                # so the hit is free — no probe, no move_to_end.
+                if n_lines == 1:
+                    if fetch_first != ic_prev:
+                        ic_prev = fetch_first
+                        # Full misses fetch from the lookup's own first
+                        # line, whose set index is a precomputed column.
+                        icset = isets[ic_si_l[now] if rec is None
+                                      else fetch_first % ic_n_sets]
+                        if fetch_first in icset:
+                            icset.move_to_end(fetch_first)
+                        else:
+                            ic_miss += 1
+                            if len(icset) >= ic_ways:
+                                victim_line, _ = icset.popitem(last=False)
+                                if inclusive:
+                                    victim_starts = line_map_get(victim_line)
+                                    if victim_starts:
+                                        for vstart in list(victim_starts):
+                                            vrec = resident_get(vstart)
+                                            if (vrec is not None
+                                                    and vrec[6] <= victim_line
+                                                    <= vrec[7]):
+                                                remove(now, vstart, vrec,
+                                                       _INCLUSIVE)
+                                                inclusive_invalidations += 1
+                            icset[fetch_first] = None
+                else:
+                    evicted = []
+                    for line in range(fetch_first, fetch_last + 1):
+                        if line == ic_prev:
+                            continue
+                        ic_prev = line
+                        icset = isets[line % ic_n_sets]
+                        if line in icset:
+                            icset.move_to_end(line)
+                            continue
+                        ic_miss += 1
+                        if len(icset) >= ic_ways:
+                            victim_line, _ = icset.popitem(last=False)
+                            evicted.append(victim_line)
+                        icset[line] = None
+                    if inclusive and evicted:
+                        for victim_line in evicted:
+                            victim_starts = line_map_get(victim_line)
+                            if victim_starts:
+                                for vstart in list(victim_starts):
+                                    vrec = resident_get(vstart)
+                                    if (vrec is not None
+                                            and vrec[6] <= victim_line
+                                            <= vrec[7]):
+                                        remove(now, vstart, vrec, _INCLUSIVE)
+                                        inclusive_invalidations += 1
+
+            # Schedule the insertion (inlined accumulate + supersede).
+            if has_hints:
+                cur = in_flight_get(start)
+                if cur is None:
+                    accumulated += 1
+                    if cont_l[now]:
+                        request = (request[:3] + (hints_get(start),)
+                                   + request[4:])
+                    in_flight[start] = request
+                    pending_append(now)
+                    if next_due == NEVER:
+                        next_due = now + delay
+                elif uops > cur[0]:
+                    # A longer same-start window supersedes the pending
+                    # one (the original due time is kept by the pending
+                    # entry).
+                    accumulated += 1
+                    if cont_l[now]:
+                        request = (request[:3] + (hints_get(start),)
+                                   + request[4:])
+                    in_flight[start] = request
+            else:
+                # setdefault fuses the probe and the store; each reqs_l
+                # tuple is stored at most once, so identity with the
+                # just-read request means the slot was empty.
+                cur = in_flight_setdefault(start, request)
+                if cur is request:
+                    accumulated += 1
+                    pending_append(now)
+                    if next_due == NEVER:
+                        next_due = now + delay
+                elif uops > cur[0]:
+                    # A longer same-start window supersedes the pending
+                    # one (the original due time is kept by the pending
+                    # entry).
+                    accumulated += 1
+                    in_flight[start] = request
+
+        # --- fold the segment into stats ---
+        pw_misses = len(miss_idx)
+        if pw_misses:
+            idx = _np.array(miss_idx, dtype=_np.int64)
+            miss_uops = int(cols["arr_uops"][idx].sum())
+            uops_missed += miss_uops
+            dec_uops += miss_uops
+            dec_episodes += pw_misses
+            dec_insts += int(cols["arr_insts"][idx].sum())
+            dec_cycles += int(cols["arr_cycles"][idx].sum())
+            reads_corr -= int(cols["arr_esize"][idx].sum())
+        n_seg = end - begin
+        cum_uops = cols["cum_uops"]
+        cum_insts = cols["cum_insts"]
+        cum_esize = cols["cum_esize"]
+        cum_branches = cols["cum_branches"]
+        seg_uops = int(cum_uops[end] - cum_uops[begin])
+        seg_branches = int(cum_branches[end] - cum_branches[begin])
+        stats.lookups += n_seg
+        stats.uops_total += seg_uops
+        stats.instructions += int(cum_insts[end] - cum_insts[begin])
+        stats.branches += seg_branches
+        stats.btb_accesses += seg_branches
+        if not perfect_bp:
+            cum_mispred = cols["cum_mispred"]
+            stats.mispredictions += int(cum_mispred[end] - cum_mispred[begin])
+        stats.pw_hits += n_seg - pw_partial_hits - pw_misses
+        stats.pw_partial_hits += pw_partial_hits
+        stats.pw_misses += pw_misses
+        stats.uops_hit += seg_uops - uops_missed
+        stats.uops_missed += uops_missed
+        stats.uop_cache_reads += (
+            int(cum_esize[end] - cum_esize[begin]) + reads_corr
+        )
+        stats.decoder_uops += uops_missed
+        stats.path_switches += path_switches
+        stats.icache_accesses += icache_accesses
+        stats.inclusive_invalidations += inclusive_invalidations
+        stats.insertion_attempts += insertions + bypasses
+        stats.insertions += insertions
+        stats.bypasses += bypasses
+        stats.uop_cache_writes += writes
+        stats.evictions += evictions
+        stats.evicted_entries += evicted_entries
+        # Cache-object counters mirror the stats-level ones exactly for
+        # the inline replacement path, so one pair of locals serves both.
+        self.cache_evictions += evictions
+        self.cache_evicted_entries += evicted_entries
+        self.cache_upgrades += cache_upgrades
+        self.dec_episodes += dec_episodes
+        self.dec_insts += dec_insts
+        self.dec_uops += dec_uops
+        self.dec_cycles += dec_cycles
+        self.ic_accesses += ic_acc
+        self.ic_misses += ic_miss
+        self.accumulated += accumulated
+        self.on_uop_path = on_uop_path
+
+
+# --- per-kind loop specialization ---------------------------------------------
+
+#: Run-constant flags baked into specialized ``_segment`` variants.
+_SPEC_NAMES = ("is_lru", "is_srrip", "is_ghrp", "track_lu", "keep_larger",
+               "has_hints", "perfect_icache", "inclusive", "inline_shuffle")
+#: Compiled variants keyed by flag tuple (None = compilation unavailable).
+_spec_cache: dict[tuple, object] = {}
+#: One-element cache for the extracted ``_segment`` source.
+_spec_template: list[str] = []
+
+
+def _compile_segment(flags: dict) -> object:
+    """Compile ``_Kernel._segment`` with run-constant flags baked in.
+
+    The generic loop assigns each flag once and branches on it per
+    lookup/event.  Rewriting the flag names to literals lets the
+    bytecode compiler drop every dead branch outright (``if False``
+    blocks compile to nothing, ``True and x`` reduces to ``x``), so
+    each policy kind runs a loop with no cross-kind tests left in it.
+    The generic method stays the single source of truth: variants are
+    derived from its source at first use, behave identically, and any
+    failure falls back to the generic loop (``REPRO_SIM_SPECIALIZE=0``
+    forces that fallback).
+    """
+    import inspect
+    import re
+    import textwrap
+
+    if not _spec_template:
+        _spec_template.append(
+            textwrap.dedent(inspect.getsource(_Kernel._segment)))
+    src = _spec_template[0]
+    # Drop the flag assignments first (they would otherwise turn into
+    # assignments *to* a literal), then substitute the bare names.
+    for name in _SPEC_NAMES:
+        src = re.sub(rf"^[ \t]*{name} = .*\n", "", src, count=1,
+                     flags=re.MULTILINE)
+    for name in _SPEC_NAMES:
+        src = re.sub(rf"\b{name}\b", repr(bool(flags[name])), src)
+    src = src.replace("def _segment(", "def _segment_spec(", 1)
+    ns = dict(globals())
+    exec(_spec_code(src), ns)
+    return ns["_segment_spec"]
+
+
+def _spec_code(src: str):
+    """Code object for a transformed source, disk-cached like a .pyc.
+
+    Compiling a specialized variant costs ~25ms; a cold process pays it
+    once per flag combination.  When the repo-level result cache is on
+    (``REPRO_CACHE=1`` + ``REPRO_CACHE_DIR``, the same knobs the trace
+    store uses) the bytecode is marshalled to disk keyed by the hash of
+    the transformed source — exactly the ``__pycache__`` contract, so
+    any source or flag change invalidates naturally.
+    """
+    import hashlib
+    import marshal
+    from importlib.util import MAGIC_NUMBER
+
+    cache_path = None
+    cache_root = (os.environ.get("REPRO_CACHE_DIR")
+                  if os.environ.get("REPRO_CACHE") == "1" else None)
+    if cache_root:
+        digest = hashlib.sha256(src.encode()).hexdigest()[:16]
+        cache_path = os.path.join(
+            cache_root, "simd_spec", f"segment-{digest}.marshal")
+        try:
+            with open(cache_path, "rb") as fh:
+                if fh.read(len(MAGIC_NUMBER)) == MAGIC_NUMBER:
+                    return marshal.loads(fh.read())
+        except (OSError, ValueError, EOFError):
+            pass
+    code = compile(src, "<simd-specialized>", "exec")
+    if cache_path:
+        try:
+            os.makedirs(os.path.dirname(cache_path), exist_ok=True)
+            tmp = f"{cache_path}.tmp{os.getpid()}"
+            with open(tmp, "wb") as fh:
+                fh.write(MAGIC_NUMBER)
+                fh.write(marshal.dumps(code))
+            os.replace(tmp, cache_path)
+        except OSError:  # pragma: no cover - cache dir not writable
+            pass
+    return code
+
+
+def _specialized_segment(flags: dict):
+    """Cached specialized ``_segment`` for ``flags`` (None on failure)."""
+    key = tuple(bool(flags[n]) for n in _SPEC_NAMES)
+    if key not in _spec_cache:
+        try:
+            _spec_cache[key] = _compile_segment(flags)
+        except Exception:  # pragma: no cover - source unavailable
+            _spec_cache[key] = None
+    return _spec_cache[key]

@@ -112,6 +112,10 @@ class MicrobenchResult:
     policy_build_stages: dict
     prepare_s: float
     pipeline_s: float
+    #: stage -> seconds inside the fast pipeline run (``frontend_sim``
+    #: dispatch; ``sim_kernel`` when the vectorized kernel ran), from
+    #: :mod:`repro.stagetimer` — the kernel vs. reference attribution.
+    sim_stages: dict
     reference_s: float
     policy_hooks_s: float
     policy_hook_calls: int
@@ -172,11 +176,16 @@ def microbench_run(
     # pipeline re-attaches the policy, which resets its per-run state.
     stats = None
     pipeline_s = float("inf")
+    sim_stages: dict = {}
     for _ in range(max(1, repeats)):
         pipeline = FrontendPipeline(sim_config, built_policy, hints=hints)
-        started = perf_counter()
-        stats = pipeline.run(trace, warmup=warmup)
-        pipeline_s = min(pipeline_s, perf_counter() - started)
+        with stagetimer.capture() as run_stages:
+            started = perf_counter()
+            stats = pipeline.run(trace, warmup=warmup)
+            elapsed = perf_counter() - started
+        if elapsed < pipeline_s:
+            pipeline_s = elapsed
+            sim_stages = dict(run_stages)
 
     # Stage: reference loop (the per-step() baseline the fast loop must
     # stay bit-identical to).
@@ -211,6 +220,10 @@ def microbench_run(
         },
         prepare_s=prepare_s,
         pipeline_s=pipeline_s,
+        sim_stages={
+            stage: (round(v, 6) if isinstance(v, float) else v)
+            for stage, v in sim_stages.items()
+        },
         reference_s=reference_s,
         policy_hooks_s=timed.hook_seconds,
         policy_hook_calls=timed.hook_calls,
@@ -424,6 +437,150 @@ def trace_build_batch(
         "trace_build_lookups_per_s": (
             round(total_lookups / total_build_s, 1) if total_build_s else None
         ),
+        "stages": {
+            stage: (round(v, 4) if isinstance(v, float) else v)
+            for stage, v in stage_totals.items()
+        },
+    }
+    return {"results": results, "aggregate": aggregate}
+
+
+def frontend_sim_run(
+    app: str,
+    policy: str,
+    *,
+    trace_len: int = 20_000,
+    config: str = "zen3",
+    repeats: int = 3,
+) -> dict:
+    """Time the simulation loops alone, with the stage breakdown.
+
+    Pulls the trace from the shared registry cache and pre-derives the
+    prepared columns, so the three arms measure pure simulation:
+
+    * ``kernel_s``    — :meth:`FrontendPipeline.run` with the
+      :mod:`repro.frontend.simd` kernel enabled (the default path);
+      ``stages`` carries the ``frontend_sim`` / ``sim_kernel`` split
+      from the best repeat.
+    * ``fastloop_s``  — the same entry point under
+      ``REPRO_SIM_FASTPATH=0`` (the prepared-trace loop).
+    * ``reference_s`` — :meth:`FrontendPipeline.run_reference`.
+    """
+    import os
+
+    request = RunRequest(
+        app=app, policy=policy, trace_len=trace_len, config=config
+    )
+    sim_config = request.build_config()
+    trace = get_trace(app, request.input_name, trace_len)
+    built_policy, hints = _build_policy_and_hints(request, sim_config, trace)
+    probe = FrontendPipeline(sim_config, built_policy, hints=hints)
+    trace.prepared(
+        n_sets=probe.uop_cache.n_sets,
+        uops_per_entry=sim_config.uop_cache.uops_per_entry,
+        line_bytes=sim_config.icache.line_bytes,
+        set_index_fn=probe.uop_cache._set_index,
+    )
+
+    kernel_stats = None
+    kernel_s = float("inf")
+    kernel_stages: dict = {}
+    for _ in range(max(1, repeats)):
+        pipeline = FrontendPipeline(sim_config, built_policy, hints=hints)
+        with stagetimer.capture() as run_stages:
+            started = perf_counter()
+            kernel_stats = pipeline.run(trace)
+            elapsed = perf_counter() - started
+        if elapsed < kernel_s:
+            kernel_s = elapsed
+            kernel_stages = dict(run_stages)
+
+    saved = os.environ.get("REPRO_SIM_FASTPATH")
+    os.environ["REPRO_SIM_FASTPATH"] = "0"
+    try:
+        fastloop_stats = None
+        fastloop_s = float("inf")
+        for _ in range(max(1, repeats)):
+            pipeline = FrontendPipeline(sim_config, built_policy, hints=hints)
+            started = perf_counter()
+            fastloop_stats = pipeline.run(trace)
+            fastloop_s = min(fastloop_s, perf_counter() - started)
+    finally:
+        if saved is None:
+            del os.environ["REPRO_SIM_FASTPATH"]
+        else:
+            os.environ["REPRO_SIM_FASTPATH"] = saved
+
+    reference_stats = None
+    reference_s = float("inf")
+    for _ in range(max(1, repeats)):
+        pipeline = FrontendPipeline(sim_config, built_policy, hints=hints)
+        started = perf_counter()
+        reference_stats = pipeline.run_reference(trace)
+        reference_s = min(reference_s, perf_counter() - started)
+
+    identical = (
+        dataclasses.asdict(kernel_stats)
+        == dataclasses.asdict(fastloop_stats)
+        == dataclasses.asdict(reference_stats)
+    )
+    return {
+        "app": app,
+        "policy": policy,
+        "trace_len": trace_len,
+        "kernel_s": round(kernel_s, 4),
+        "fastloop_s": round(fastloop_s, 4),
+        "reference_s": round(reference_s, 4),
+        "kernel_lookups_per_s": round(trace_len / kernel_s, 1),
+        "speedup_vs_fastloop": round(fastloop_s / kernel_s, 3),
+        "speedup_vs_reference": round(reference_s / kernel_s, 3),
+        "identical_results": identical,
+        "stages": {
+            stage: (round(v, 6) if isinstance(v, float) else v)
+            for stage, v in kernel_stages.items()
+        },
+    }
+
+
+def frontend_sim_batch(
+    apps: Sequence[str] = BENCH_APPS,
+    policies: Sequence[str] = BENCH_POLICIES,
+    *,
+    trace_len: int = 20_000,
+    config: str = "zen3",
+    repeats: int = 3,
+) -> dict:
+    """Simulation-only bench (``repro bench --stage frontend_sim``).
+
+    Per-(app, policy) kernel vs. fastloop vs. reference timings plus an
+    aggregate in the same shape :func:`check_baseline` reads.
+    """
+    results = [
+        frontend_sim_run(
+            app, policy, trace_len=trace_len, config=config, repeats=repeats
+        )
+        for app in apps
+        for policy in policies
+    ]
+    total_kernel_s = sum(r["kernel_s"] for r in results)
+    total_fastloop_s = sum(r["fastloop_s"] for r in results)
+    total_reference_s = sum(r["reference_s"] for r in results)
+    total_lookups = trace_len * len(results)
+    stage_totals: dict[str, float | int] = {}
+    for r in results:
+        for stage, v in r["stages"].items():
+            stage_totals[stage] = stage_totals.get(stage, 0) + v
+    aggregate = {
+        "runs": len(results),
+        "trace_len": trace_len,
+        "total_lookups": total_lookups,
+        "kernel_s": round(total_kernel_s, 4),
+        "fastloop_s": round(total_fastloop_s, 4),
+        "reference_s": round(total_reference_s, 4),
+        "kernel_lookups_per_s": round(total_lookups / total_kernel_s, 1),
+        "speedup_vs_fastloop": round(total_fastloop_s / total_kernel_s, 3),
+        "speedup_vs_reference": round(total_reference_s / total_kernel_s, 3),
+        "identical_results": all(r["identical_results"] for r in results),
         "stages": {
             stage: (round(v, 4) if isinstance(v, float) else v)
             for stage, v in stage_totals.items()

@@ -99,6 +99,23 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
+    if args.cache_stats:
+        from ..workloads.registry import TRACE_CACHE_CAP, trace_cache_stats
+
+        stats = trace_cache_stats()
+        print(f"registry LRU cap   : {TRACE_CACHE_CAP}"
+              f"{' (unbounded)' if TRACE_CACHE_CAP <= 0 else ''}")
+        print(f"memory-resident    : {stats['cached']}")
+        print(f"memory hits        : {stats['memory_hits']}")
+        print(f"disk hits          : {stats['disk_hits']}")
+        print(f"generated (misses) : {stats['generated']}")
+        print(f"LRU evictions      : {stats['evictions']}")
+        if args.trace is None:
+            return 0
+    if args.trace is None:
+        print("repro-trace inspect: a trace file is required "
+              "(or pass --cache-stats)", file=sys.stderr)
+        return 2
     fmt = _trace_format(args.trace)
     trace = Trace.load_any(args.trace)
     meta = trace.metadata
@@ -169,7 +186,11 @@ def main(argv: list[str] | None = None) -> int:
     inspect = commands.add_parser(
         "inspect", help="metadata + totals of a trace file (any format)"
     )
-    inspect.add_argument("trace")
+    inspect.add_argument("trace", nargs="?", default=None)
+    inspect.add_argument(
+        "--cache-stats", action="store_true",
+        help="print registry LRU counters (hits/misses/evictions)",
+    )
 
     convert = commands.add_parser(
         "convert", help="translate a trace between v1 text and v2 binary"

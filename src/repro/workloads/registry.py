@@ -38,7 +38,9 @@ _trace_cache: OrderedDict[tuple[str, str, int], Trace] = OrderedDict()
 
 #: How get_trace satisfied requests since the last clear (observability
 #: for the CI disk-cache smoke and for cache-sizing experiments).
-_cache_counters = {"memory_hits": 0, "disk_hits": 0, "generated": 0}
+_cache_counters = {
+    "memory_hits": 0, "disk_hits": 0, "generated": 0, "evictions": 0,
+}
 
 
 def available_inputs(app: str) -> tuple[str, ...]:
@@ -95,6 +97,7 @@ def _remember(key: tuple[str, str, int], trace: Trace) -> None:
     if TRACE_CACHE_CAP > 0:
         while len(_trace_cache) > TRACE_CACHE_CAP:
             _trace_cache.popitem(last=False)
+            _cache_counters["evictions"] += 1
 
 
 def get_trace(

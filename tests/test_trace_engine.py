@@ -232,6 +232,7 @@ def test_trace_cache_lru_bound(monkeypatch):
     # Oldest (500) evicted; newest two retained.
     assert ("kafka", "default", 500) not in registry._trace_cache
     assert ("kafka", "default", 700) in registry._trace_cache
+    assert registry.trace_cache_stats()["evictions"] == 1
     registry.clear_trace_cache()
 
 

@@ -1,6 +1,7 @@
 """Tests for the repro-trace CLI tool."""
 
 from repro.tools.trace_tool import main
+from repro.workloads.registry import clear_trace_cache, get_trace
 
 
 class TestTraceTool:
@@ -34,3 +35,19 @@ class TestTraceTool:
         shares = [float(line.rsplit(" ", 1)[1].rstrip("%"))
                   for line in out.splitlines() if "#" in line and ":" in line]
         assert 95.0 < sum(shares) < 105.0
+
+    def test_inspect_cache_stats(self, capsys):
+        clear_trace_cache()
+        get_trace("kafka", n_lookups=600)
+        get_trace("kafka", n_lookups=600)
+        assert main(["inspect", "--cache-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "memory hits        : 1" in out
+        assert "generated (misses) :" in out
+        assert "LRU evictions      : 0" in out
+        clear_trace_cache()
+
+    def test_inspect_without_trace_or_flag_errors(self, capsys):
+        assert main(["inspect"]) == 2
+        err = capsys.readouterr().err
+        assert "trace file is required" in err
