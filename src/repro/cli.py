@@ -11,6 +11,7 @@ Examples::
     repro bench --micro --baseline benchmarks/microbench_baseline.json
     repro bench --stage policy_build   # policy construction only
     repro bench --stage trace_build    # trace construction only
+    repro bench --stage offline_sim    # offline/profile-guided kernel arms
     repro bench --profile      # cProfile one cold run
     repro bench --chaos        # fault-injection smoke (crash/hang/corrupt)
     repro fig8 --on-error skip # keep partial results on worker failures
@@ -91,9 +92,21 @@ def _bench(args: argparse.Namespace) -> int:
                 apps, policies, trace_len=args.trace_len or 20_000,
                 repeats=args.repeats,
             )
+        elif args.stage == "offline_sim":
+            from .harness.microbench import (
+                OFFLINE_BENCH_POLICIES, offline_sim_batch,
+            )
+
+            outcome = offline_sim_batch(
+                apps,
+                policies if args.policies else OFFLINE_BENCH_POLICIES,
+                trace_len=args.trace_len or 20_000,
+                repeats=args.repeats,
+            )
         else:
             print(f"unknown --stage {args.stage!r}; 'policy_build', "
-                  "'trace_build' and 'frontend_sim' are available",
+                  "'trace_build', 'frontend_sim' and 'offline_sim' are "
+                  "available",
                   file=sys.stderr)
             return 2
         text = json.dumps(outcome, indent=2)
@@ -101,7 +114,7 @@ def _bench(args: argparse.Namespace) -> int:
         if args.output:
             with open(args.output, "w") as handle:
                 handle.write(text + "\n")
-        if args.stage == "frontend_sim":
+        if args.stage in ("frontend_sim", "offline_sim"):
             return 0 if outcome["aggregate"]["identical_results"] else 1
         return 0
 
@@ -227,8 +240,10 @@ def main(argv: list[str] | None = None) -> int:
         "--stage",
         help="bench only: time a single stage instead of full runs "
              "('policy_build': policy construction with its per-stage "
-             "breakdown; 'trace_build': cold trace construction; "
-             "no simulation loops either way)",
+             "breakdown; 'trace_build': cold trace construction — no "
+             "simulation loops either way; 'frontend_sim': kernel vs "
+             "fastloop vs reference simulation arms; 'offline_sim': the "
+             "same over the offline/profile-guided policies)",
     )
     parser.add_argument(
         "--policies",

@@ -336,18 +336,29 @@ class FrontendPipeline:
         Warmup keeps all microarchitectural state (caches, policy
         metadata, pending insertions) but discards the counters.
 
-        Supported configurations (LRU/SRRIP/random/GHRP, no miss
-        classification or per-PW recording) dispatch to the vectorized
-        :mod:`repro.frontend.simd` kernel unless ``REPRO_SIM_FASTPATH=0``;
-        everything else runs the prepared-trace loop below.  Both are
-        bit-identical to :meth:`run_reference` / :meth:`step` — see
-        ``tests/test_golden_stats.py`` and ``tests/test_sim_kernel.py``.
+        Supported configurations (the online LRU/SRRIP/random/GHRP
+        kinds plus the offline and profile-guided families — Belady,
+        FOO/FLACK replay, FURBYS, Thermometer) dispatch to the
+        vectorized :mod:`repro.frontend.simd` /
+        :mod:`repro.frontend.simd_offline` kernels unless
+        ``REPRO_SIM_FASTPATH=0``; everything else runs the
+        prepared-trace loop below, counting the reason under a
+        ``sim_fallback:<policy>:<reason>`` fallback counter.  All paths
+        are bit-identical to :meth:`run_reference` / :meth:`step` — see
+        ``tests/test_golden_stats.py``, ``tests/test_sim_kernel.py``
+        and ``tests/test_offline_kernel.py``.
         """
         from . import simd
 
         with stagetimer.timed("frontend_sim"):
-            if simd.sim_fastpath_enabled() and simd.supports(self):
-                return simd.run_kernel(self, trace, warmup)
+            if simd.sim_fastpath_enabled():
+                reason = simd.fallback_reason(self)
+                if reason is None:
+                    return simd.run_kernel(self, trace, warmup)
+                from ..harness import resilience
+
+                resilience.note_fallback(
+                    f"sim_fallback:{self.policy.name}:{reason}")
             prepared = trace.prepared(
                 n_sets=self.uop_cache.n_sets,
                 uops_per_entry=self.config.uop_cache.uops_per_entry,

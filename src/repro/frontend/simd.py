@@ -37,11 +37,18 @@ RNG), so every ``SimulationStats`` field matches the reference loop;
 ``tests/test_sim_kernel.py`` sweeps geometries, policies and trace
 lengths against :meth:`FrontendPipeline.run_reference`.
 
-``REPRO_SIM_FASTPATH=0`` disables the kernel (the prepared-trace loop
-in :meth:`FrontendPipeline._run_segment` then runs, exactly as before
-this kernel existed); unsupported configurations (offline policies,
-miss classification, per-PW hit-rate recording, perfect uop cache)
-fall back automatically.
+The offline and profile-guided policy families (Belady, FOO/FLACK
+replay, FURBYS, Thermometer) run through the sibling kernel in
+:mod:`repro.frontend.simd_offline`, which subclasses :class:`_Kernel`
+and swaps the policy-state handling; :func:`run_kernel` dispatches on
+:func:`kernel_kind` / :func:`offline_kernel_kind`.
+
+``REPRO_SIM_FASTPATH=0`` disables both kernels (the prepared-trace
+loop in :meth:`FrontendPipeline._run_segment` then runs, exactly as
+before the kernels existed); unsupported configurations (policies
+without a specialization, miss classification, perfect uop cache)
+fall back automatically, counted per (policy, reason) by the
+``sim_fallback:*`` resilience counters — see :func:`fallback_reason`.
 """
 
 from __future__ import annotations
@@ -57,6 +64,7 @@ except ImportError:  # pragma: no cover - exercised via the fallback path
     _np = None
 
 from .. import stagetimer
+from ._specialize import compile_flagged, gc_paused as _gc_paused
 from ..core.pw import StoredPW
 from ..core.stats import SimulationStats
 from ..core.trace import (
@@ -165,34 +173,94 @@ def kernel_kind(policy: object) -> str | None:
     return None
 
 
-def supports(pipeline: "FrontendPipeline") -> bool:
-    """Whether this pipeline instance can run through the kernel."""
-    if kernel_kind(pipeline.policy) is None:
-        return False
-    if pipeline._classifier is not None or pipeline.pw_hit_stats is not None:
-        return False
+def offline_kernel_kind(policy: object) -> str | None:
+    """The offline-kernel specialization for ``policy``, or None.
+
+    Exact-type checks, like :func:`kernel_kind` (FOO/FLACK only
+    override ``__init__`` of :class:`OfflineReplayPolicy`, so they
+    share its specializations).  Imports are lazy and guarded: the
+    offline modules require numpy at import time, and this predicate
+    must stay callable — answering None — without it.
+    """
+    try:
+        from ..offline.base import OfflineReplayPolicy
+        from ..offline.belady import BeladyPolicy
+        from ..offline.flack import FLACKPolicy
+        from ..offline.foo import FOOPolicy
+        from ..policies.furbys import FurbysPolicy
+        from ..policies.thermometer import ThermometerPolicy
+    except ImportError:  # pragma: no cover - numpy-less environments
+        return None
+    tp = type(policy)
+    if tp is BeladyPolicy:
+        return "belady"
+    if tp in (OfflineReplayPolicy, FOOPolicy, FLACKPolicy):
+        return "plan" if policy._plan_mode else "greedy"
+    if tp is FurbysPolicy:
+        return "furbys"
+    if tp is ThermometerPolicy:
+        return "thermometer"
+    return None
+
+
+def fallback_reason(pipeline: "FrontendPipeline") -> str | None:
+    """Why this pipeline cannot run through a kernel (None = it can).
+
+    The reason strings feed the ``sim_fallback:<policy>:<reason>``
+    resilience counters, so they are short stable identifiers rather
+    than prose.
+    """
+    kind = kernel_kind(pipeline.policy)
+    offline_kind = None if kind is not None \
+        else offline_kernel_kind(pipeline.policy)
+    if kind is None and offline_kind is None:
+        return "unsupported_policy"
+    if pipeline._classifier is not None:
+        return "miss_classifier"
+    if pipeline.pw_hit_stats is not None and offline_kind is None:
+        # Per-PW hit-rate recording is implemented by the offline
+        # kernel (the profiling replay needs it); the online kinds
+        # still fall back.
+        return "pw_hit_stats"
     if pipeline.config.perfect_uop_cache:
-        return False
+        return "perfect_uop_cache"
     # A pipeline that already streamed lookups (manual step() calls)
     # carries loop state the kernel does not reconstruct.
     if pipeline._pending or pipeline._in_flight:
-        return False
+        return "pipeline_mid_stream"
     # The precomputed GHRP history sequence assumes the register starts
     # at zero; a reused pipeline (back-to-back runs) falls back.
     if (type(pipeline.policy) is GHRPPolicy
             and pipeline.policy._history != 0):
-        return False
-    return True
+        return "ghrp_history_nonzero"
+    if offline_kind in ("belady", "plan", "greedy"):
+        # The future-knowledge kinds read the columnar CSR layout; with
+        # REPRO_POLICY_FASTPATH=0 the policy holds the reference
+        # dict-of-lists index instead.
+        from ..offline.base import ColumnarFutureIndex
+
+        if not isinstance(pipeline.policy.future, ColumnarFutureIndex):
+            return "reference_future_index"
+    return None
+
+
+def supports(pipeline: "FrontendPipeline") -> bool:
+    """Whether this pipeline instance can run through a kernel."""
+    return fallback_reason(pipeline) is None
 
 
 def run_kernel(pipeline: "FrontendPipeline", trace: "Trace",
                warmup: int) -> SimulationStats:
-    """Simulate ``trace`` on ``pipeline`` through the kernel.
+    """Simulate ``trace`` on ``pipeline`` through the matching kernel.
 
     The caller (``FrontendPipeline.run``) is responsible for checking
     :func:`sim_fastpath_enabled` and :func:`supports` first.
     """
-    return _Kernel(pipeline, trace, warmup).run()
+    if kernel_kind(pipeline.policy) is not None:
+        return _Kernel(pipeline, trace, warmup).run()
+    from .simd_offline import _OfflineKernel
+
+    return _OfflineKernel(pipeline, trace, warmup).run()
 
 
 # --- precomputed columns ------------------------------------------------------
@@ -215,25 +283,6 @@ def _precompute(trace: "Trace", *, n_sets: int, uops_per_entry: int,
         btb_n_sets=btb_n_sets, ic_n_sets=ic_n_sets, delay=delay,
         set_index_fn=set_index_fn,
     )))
-
-
-def _gc_paused(fn):
-    """Run ``fn`` with the cyclic collector paused, restoring it after.
-
-    Building the columns materializes millions of tracked containers at
-    once; with the collector live, each generation pass re-scans every
-    survivor while the build keeps allocating, which turns an O(n) build
-    into something closer to O(n^2 / threshold) at 1M-lookup scale.  The
-    column data is acyclic, so pausing costs nothing in reclaimed memory.
-    """
-    enabled = _gc.isenabled()
-    if enabled:
-        _gc.disable()
-    try:
-        return fn()
-    finally:
-        if enabled:
-            _gc.enable()
 
 
 def _build_columns(trace: "Trace", *, n_sets: int, uops_per_entry: int,
@@ -502,18 +551,7 @@ class _Kernel:
         warmup = self.warmup
         segment = self._segment
         if os.environ.get("REPRO_SIM_SPECIALIZE", "1") != "0":
-            kind = self.kind
-            spec = _specialized_segment({
-                "is_lru": kind == "lru",
-                "is_srrip": kind == "srrip",
-                "is_ghrp": kind == "ghrp",
-                "track_lu": kind in ("lru", "srrip"),
-                "keep_larger": self.keep_larger,
-                "has_hints": bool(pipeline.accumulator._hints),
-                "perfect_icache": pipeline.config.perfect_icache,
-                "inclusive": self.inclusive,
-                "inline_shuffle": _INLINE_SHUFFLE,
-            })
+            spec = self._specialized()
             if spec is not None:
                 segment = spec.__get__(self)
         # The kernel's working set is acyclic (columns of ints/tuples plus
@@ -539,6 +577,21 @@ class _Kernel:
                 _gc.enable()
         self._sync_back()
         return pipeline._finalize(n)
+
+    def _specialized(self):
+        """Compiled flag-specialized segment variant (None on failure)."""
+        kind = self.kind
+        return _specialized_segment({
+            "is_lru": kind == "lru",
+            "is_srrip": kind == "srrip",
+            "is_ghrp": kind == "ghrp",
+            "track_lu": kind in ("lru", "srrip"),
+            "keep_larger": self.keep_larger,
+            "has_hints": bool(self.pipeline.accumulator._hints),
+            "perfect_icache": self.pipeline.config.perfect_icache,
+            "inclusive": self.inclusive,
+            "inline_shuffle": _INLINE_SHUFFLE,
+        })
 
     def _rebuild_policy_dicts(self) -> None:
         """Refill the live policy dicts from the resident records.
@@ -1588,76 +1641,14 @@ _spec_template: list[str] = []
 def _compile_segment(flags: dict) -> object:
     """Compile ``_Kernel._segment`` with run-constant flags baked in.
 
-    The generic loop assigns each flag once and branches on it per
-    lookup/event.  Rewriting the flag names to literals lets the
-    bytecode compiler drop every dead branch outright (``if False``
-    blocks compile to nothing, ``True and x`` reduces to ``x``), so
-    each policy kind runs a loop with no cross-kind tests left in it.
-    The generic method stays the single source of truth: variants are
-    derived from its source at first use, behave identically, and any
-    failure falls back to the generic loop (``REPRO_SIM_SPECIALIZE=0``
-    forces that fallback).
+    Delegates the source transformation and the marshal disk cache to
+    :mod:`repro.frontend._specialize`; any failure falls back to the
+    generic loop (``REPRO_SIM_SPECIALIZE=0`` forces that fallback).
     """
-    import inspect
-    import re
-    import textwrap
-
-    if not _spec_template:
-        _spec_template.append(
-            textwrap.dedent(inspect.getsource(_Kernel._segment)))
-    src = _spec_template[0]
-    # Drop the flag assignments first (they would otherwise turn into
-    # assignments *to* a literal), then substitute the bare names.
-    for name in _SPEC_NAMES:
-        src = re.sub(rf"^[ \t]*{name} = .*\n", "", src, count=1,
-                     flags=re.MULTILINE)
-    for name in _SPEC_NAMES:
-        src = re.sub(rf"\b{name}\b", repr(bool(flags[name])), src)
-    src = src.replace("def _segment(", "def _segment_spec(", 1)
-    ns = dict(globals())
-    exec(_spec_code(src), ns)
-    return ns["_segment_spec"]
-
-
-def _spec_code(src: str):
-    """Code object for a transformed source, disk-cached like a .pyc.
-
-    Compiling a specialized variant costs ~25ms; a cold process pays it
-    once per flag combination.  When the repo-level result cache is on
-    (``REPRO_CACHE=1`` + ``REPRO_CACHE_DIR``, the same knobs the trace
-    store uses) the bytecode is marshalled to disk keyed by the hash of
-    the transformed source — exactly the ``__pycache__`` contract, so
-    any source or flag change invalidates naturally.
-    """
-    import hashlib
-    import marshal
-    from importlib.util import MAGIC_NUMBER
-
-    cache_path = None
-    cache_root = (os.environ.get("REPRO_CACHE_DIR")
-                  if os.environ.get("REPRO_CACHE") == "1" else None)
-    if cache_root:
-        digest = hashlib.sha256(src.encode()).hexdigest()[:16]
-        cache_path = os.path.join(
-            cache_root, "simd_spec", f"segment-{digest}.marshal")
-        try:
-            with open(cache_path, "rb") as fh:
-                if fh.read(len(MAGIC_NUMBER)) == MAGIC_NUMBER:
-                    return marshal.loads(fh.read())
-        except (OSError, ValueError, EOFError):
-            pass
-    code = compile(src, "<simd-specialized>", "exec")
-    if cache_path:
-        try:
-            os.makedirs(os.path.dirname(cache_path), exist_ok=True)
-            tmp = f"{cache_path}.tmp{os.getpid()}"
-            with open(tmp, "wb") as fh:
-                fh.write(MAGIC_NUMBER)
-                fh.write(marshal.dumps(code))
-            os.replace(tmp, cache_path)
-        except OSError:  # pragma: no cover - cache dir not writable
-            pass
-    return code
+    return compile_flagged(
+        _Kernel._segment, _SPEC_NAMES, flags, new_name="_segment_spec",
+        namespace=globals(), prefix="segment", template=_spec_template,
+    )
 
 
 def _specialized_segment(flags: dict):

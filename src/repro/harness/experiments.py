@@ -961,6 +961,31 @@ def abl_online_scale(trace_len: int = 1_000_000) -> dict:
     return result
 
 
+def abl_offline_scale(trace_len: int = 1_000_000) -> dict:
+    """Offline + profile-guided arms at 1M-lookup scale (extension).
+
+    Companion to :func:`abl_online_scale` for the paper's headline
+    arms: the Belady bound, FLACK and the deployable FURBYS /
+    Thermometer policies.  These were previously too slow to run at
+    production scale — each lookup pays future-index or hint/RRPV
+    bookkeeping on top of the cache model — but the offline kernel
+    specializations (:mod:`repro.frontend.simd_offline`) replay them
+    columnar, so million-lookup traces are this figure's default.
+    It re-checks the FLACK-bound / FURBYS / Thermometer miss-reduction
+    ordering (Figures 5 and 8) at ~22x the default length.
+
+    ``REPRO_TRACE_LEN`` still wins when set, so smoke runs stay
+    smoke-sized.
+    """
+    if os.environ.get("REPRO_TRACE_LEN"):
+        trace_len = DEFAULT_TRACE_LEN
+    result = _miss_reduction_matrix(
+        ("belady", "flack", "furbys", "thermometer"), trace_len=trace_len
+    )
+    result["trace_len"] = trace_len
+    return result
+
+
 #: Registry used by the CLI and the bench harness.
 EXPERIMENTS = {
     "tab1": tab1_parameters,
@@ -991,4 +1016,5 @@ EXPERIMENTS = {
     "abl-async": abl_async_window,
     "abl-extended": abl_extended_baselines,
     "abl-online-scale": abl_online_scale,
+    "abl-offline-scale": abl_offline_scale,
 }

@@ -250,7 +250,9 @@ def microbench_batch(
     :func:`check_baseline`.  ``degraded_fallbacks`` snapshots the
     resilience fallback counters accumulated during the bench (shm /
     disk-write / quarantine events), so a bench that silently degraded
-    is distinguishable from a clean one.
+    is distinguishable from a clean one; ``sim_fallbacks`` carries the
+    informational ``sim_fallback:*`` counters (runs that used the
+    reference loop instead of a vectorized kernel) separately.
     """
     from . import resilience
 
@@ -263,11 +265,19 @@ def microbench_batch(
         for app in apps
         for policy in policies
     ]
+    counter_deltas = resilience.counters_since(fallback_snapshot)
     total_pipeline_s = sum(r.pipeline_s for r in results)
     total_reference_s = sum(r.reference_s for r in results)
     total_build_s = sum(r.policy_build_s for r in results)
     total_trace_s = sum(r.trace_gen_s for r in results)
     total_lookups = trace_len * len(results)
+    # The offline + profile-guided subset gets its own throughput so
+    # the committed baseline can gate the offline kernel separately.
+    from .runner import OFFLINE_POLICIES, PROFILE_POLICIES
+
+    offline_names = set(OFFLINE_POLICIES) | set(PROFILE_POLICIES)
+    offline_runs = [r for r in results if r.policy in offline_names]
+    offline_pipeline_s = sum(r.pipeline_s for r in offline_runs)
     aggregate = {
         "runs": len(results),
         "trace_len": trace_len,
@@ -289,9 +299,26 @@ def microbench_batch(
         "trace_build_lookups_per_s": (
             round(total_lookups / total_trace_s, 1) if total_trace_s else None
         ),
+        # Fast-loop throughput over the offline + profile-guided arms
+        # only (None when the batch has no such arm).
+        "offline_sim_lookups_per_s": (
+            round(trace_len * len(offline_runs) / offline_pipeline_s, 1)
+            if offline_pipeline_s else None
+        ),
         "speedup_vs_reference": round(total_reference_s / total_pipeline_s, 3),
         "identical_results": all(r.identical_to_reference for r in results),
-        "degraded_fallbacks": resilience.counters_since(fallback_snapshot),
+        "degraded_fallbacks": {
+            name: count for name, count in counter_deltas.items()
+            if not name.startswith("sim_fallback:")
+        },
+        # Simulations that ran the reference loop instead of a kernel
+        # (bit-identical, informational) — the instrumented policy-hook
+        # arm always lands here, since the timing proxy is not a kernel
+        # policy type.
+        "sim_fallbacks": {
+            name: count for name, count in counter_deltas.items()
+            if name.startswith("sim_fallback:")
+        },
     }
     return {"results": [r.to_json() for r in results], "aggregate": aggregate}
 
@@ -589,6 +616,55 @@ def frontend_sim_batch(
     return {"results": results, "aggregate": aggregate}
 
 
+#: Offline + profile-guided arms the ``offline_sim`` stage times by
+#: default: the optimal baselines (Belady, FOO), the paper's best
+#: offline policy (FLACK) and both practical profile-guided policies.
+OFFLINE_BENCH_POLICIES = ("belady", "foo-ohr", "flack", "furbys",
+                          "thermometer")
+
+
+def offline_sim_run(
+    app: str,
+    policy: str,
+    *,
+    trace_len: int = 20_000,
+    config: str = "zen3",
+    repeats: int = 3,
+) -> dict:
+    """:func:`frontend_sim_run` for one offline / profile-guided arm.
+
+    Same three arms (kernel / fastloop / reference); policy
+    construction — the future index, flow solver or profiling replay —
+    happens once up front and is excluded from all three timings.
+    """
+    return frontend_sim_run(
+        app, policy, trace_len=trace_len, config=config, repeats=repeats
+    )
+
+
+def offline_sim_batch(
+    apps: Sequence[str] = BENCH_APPS,
+    policies: Sequence[str] = OFFLINE_BENCH_POLICIES,
+    *,
+    trace_len: int = 20_000,
+    config: str = "zen3",
+    repeats: int = 3,
+) -> dict:
+    """Offline-simulation bench (``repro bench --stage offline_sim``).
+
+    The ``frontend_sim`` shape over the offline + profile-guided arms;
+    the aggregate additionally carries ``offline_sim_lookups_per_s``
+    (same value as ``kernel_lookups_per_s``) so the committed baseline
+    can gate the offline kernel separately from the online one.
+    """
+    report = frontend_sim_batch(
+        apps, policies, trace_len=trace_len, config=config, repeats=repeats
+    )
+    aggregate = report["aggregate"]
+    aggregate["offline_sim_lookups_per_s"] = aggregate["kernel_lookups_per_s"]
+    return report
+
+
 def profile_run(
     app: str,
     policy: str = "lru",
@@ -633,11 +709,12 @@ def check_baseline(
     shared-runner noise while still catching a real hot-path
     regression (the optimizations this guards are each >30%).
 
-    When the baseline also carries ``policy_build_lookups_per_s`` or
-    ``trace_build_lookups_per_s``, the policy-construction and
-    trace-construction throughputs are gated by the same rule, so the
-    fast-path machinery this repo builds offline artifacts and traces
-    with cannot silently regress either.
+    When the baseline also carries ``policy_build_lookups_per_s``,
+    ``trace_build_lookups_per_s`` or ``offline_sim_lookups_per_s``,
+    the policy-construction, trace-construction and offline-kernel
+    throughputs are gated by the same rule, so none of the fast-path
+    machinery this repo builds artifacts, traces and offline runs with
+    can silently regress either.
     """
     if not aggregate["identical_results"]:
         return False, "microbench: fast loop diverged from the reference loop"
@@ -653,32 +730,24 @@ def check_baseline(
         f"microbench: {current:.0f} lookups/s >= floor {floor:.0f} "
         f"(baseline {baseline['lookups_per_s']:.0f} - {tolerance:.0%})"
     )
-    baseline_build = baseline.get("policy_build_lookups_per_s")
-    current_build = aggregate.get("policy_build_lookups_per_s")
-    if baseline_build and current_build is not None:
-        build_floor = baseline_build * (1.0 - tolerance)
-        if current_build < build_floor:
+    for key, label in (
+        ("policy_build_lookups_per_s", "policy build"),
+        ("trace_build_lookups_per_s", "trace build"),
+        ("offline_sim_lookups_per_s", "offline sim"),
+    ):
+        baseline_rate = baseline.get(key)
+        current_rate = aggregate.get(key)
+        if not baseline_rate or current_rate is None:
+            continue
+        rate_floor = baseline_rate * (1.0 - tolerance)
+        if current_rate < rate_floor:
             return False, (
-                f"microbench: policy build at {current_build:.0f} lookups/s "
-                f"is below the regression floor {build_floor:.0f} "
-                f"(baseline {baseline_build:.0f} - {tolerance:.0%})"
+                f"microbench: {label} at {current_rate:.0f} lookups/s "
+                f"is below the regression floor {rate_floor:.0f} "
+                f"(baseline {baseline_rate:.0f} - {tolerance:.0%})"
             )
         message += (
-            f"; policy build {current_build:.0f} lookups/s >= floor "
-            f"{build_floor:.0f}"
-        )
-    baseline_trace = baseline.get("trace_build_lookups_per_s")
-    current_trace = aggregate.get("trace_build_lookups_per_s")
-    if baseline_trace and current_trace is not None:
-        trace_floor = baseline_trace * (1.0 - tolerance)
-        if current_trace < trace_floor:
-            return False, (
-                f"microbench: trace build at {current_trace:.0f} lookups/s "
-                f"is below the regression floor {trace_floor:.0f} "
-                f"(baseline {baseline_trace:.0f} - {tolerance:.0%})"
-            )
-        message += (
-            f"; trace build {current_trace:.0f} lookups/s >= floor "
-            f"{trace_floor:.0f}"
+            f"; {label} {current_rate:.0f} lookups/s >= floor "
+            f"{rate_floor:.0f}"
         )
     return True, message

@@ -90,7 +90,10 @@ def format_batch_report(report) -> str:
         f"{served} | {fan_out} | {report.elapsed_s:.1f}s"
     )
     faults = getattr(report, "faults", None)
-    if faults is None or (faults.total_faults == 0 and faults.retried == 0):
+    if faults is None:
+        return line
+    sim_fallbacks = getattr(faults, "sim_fallbacks", None) or {}
+    if faults.total_faults == 0 and faults.retried == 0 and not sim_fallbacks:
         return line
     parts = []
     for label, count in (
@@ -107,6 +110,14 @@ def format_batch_report(report) -> str:
             f"{name}={count}" for name, count in sorted(faults.fallbacks.items())
         )
         parts.append(f"{faults.degraded_fallbacks} degraded fallbacks ({breakdown})")
+    if sim_fallbacks:
+        breakdown = ", ".join(
+            f"{name.removeprefix('sim_fallback:')}={count}"
+            for name, count in sorted(sim_fallbacks.items())
+        )
+        parts.append(
+            f"{sum(sim_fallbacks.values())} sim kernel fallbacks ({breakdown})"
+        )
     return line + "\nfaults: " + " | ".join(parts)
 
 

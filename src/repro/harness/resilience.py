@@ -134,6 +134,11 @@ class FaultReport:
     degraded_fallbacks: int = 0
     #: fallback site -> count, the breakdown behind degraded_fallbacks.
     fallbacks: dict = field(default_factory=dict)
+    #: ``sim_fallback:<policy>:<reason>`` -> count: simulations that ran
+    #: the reference loop instead of a vectorized kernel.  Informational
+    #: (the results are bit-identical, only slower), so excluded from
+    #: :attr:`total_faults`.
+    sim_fallbacks: dict = field(default_factory=dict)
     #: Itemized skipped/failed requests: ``{"request", "error", "attempts"}``.
     failures: list = field(default_factory=list)
 
@@ -144,6 +149,10 @@ class FaultReport:
                 continue
             if name == "corrupt_artifact":
                 self.corrupt_artifacts += count
+            elif name.startswith("sim_fallback:"):
+                self.sim_fallbacks[name] = (
+                    self.sim_fallbacks.get(name, 0) + count
+                )
             else:
                 self.fallbacks[name] = self.fallbacks.get(name, 0) + count
                 self.degraded_fallbacks += count
@@ -167,6 +176,9 @@ class FaultReport:
 #   shm_cleanup     parent could not close/unlink a segment
 #   disk_write      a cache write failed (entry simply not persisted)
 #   corrupt_artifact  a disk artifact failed validation (quarantined)
+#   sim_fallback:<policy>:<reason>
+#                   a simulation ran the reference loop instead of a
+#                   vectorized kernel (bit-identical, only slower)
 
 _counters: dict[str, int] = {}
 

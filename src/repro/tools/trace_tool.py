@@ -110,6 +110,16 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         print(f"disk hits          : {stats['disk_hits']}")
         print(f"generated (misses) : {stats['generated']}")
         print(f"LRU evictions      : {stats['evictions']}")
+        from ..harness.resilience import global_counters
+
+        sim_fallbacks = {
+            name: count
+            for name, count in sorted(global_counters().items())
+            if name.startswith("sim_fallback:")
+        }
+        print(f"sim kernel fallbacks: {sum(sim_fallbacks.values())}")
+        for name, count in sim_fallbacks.items():
+            print(f"  {name.removeprefix('sim_fallback:'):24s}: {count}")
         if args.trace is None:
             return 0
     if args.trace is None:
