@@ -1,0 +1,88 @@
+"""Shared plumbing for the ``scripts/bench_*.py`` harnesses.
+
+Every benchmark script here follows the same recipe: run timed arms in
+fresh interpreters (so arms cannot share imported modules or warmed
+in-process caches), keep the best of N cold readings, and emit one
+indented JSON report to stdout plus an optional ``--output`` file.
+This module holds that recipe once:
+
+* :func:`run_json`    — execute a ``python -c`` snippet in a fresh
+  interpreter and parse the single JSON object it prints.
+* :func:`best_of`     — repeat a measurement, keep the reading with the
+  lowest value of ``key`` and annotate it with every reading (on a
+  noisy shared host the minimum is the defensible estimate).
+* :func:`emit`        — print the report and mirror it to a file.
+* :func:`scratch_cache_dir` — an on-disk trace/artifact cache directory
+  for the run: the caller's ``--cache-dir`` when given, else a
+  temporary one cleaned up on exit.
+
+The timed snippets themselves stay in the individual scripts — what
+each arm measures is the benchmark's identity; only the harness around
+it is shared.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Iterator, Sequence
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+
+def run_json(code: str, args: Sequence[object] = (), *,
+             src: Path = SRC, env: dict | None = None) -> dict:
+    """Run ``python -c code args...`` cold and parse its JSON stdout.
+
+    ``src`` becomes the child's ``PYTHONPATH`` (point it at another
+    checkout's ``src/`` for a before/after arm); ``env`` entries are
+    layered on top of the inherited environment.
+    """
+    merged = dict(os.environ, PYTHONPATH=str(src))
+    if env:
+        merged.update(env)
+    output = subprocess.run(
+        [sys.executable, "-c", code, *(str(a) for a in args)],
+        env=merged, check=True, capture_output=True, text=True,
+    ).stdout
+    return json.loads(output)
+
+
+def best_of(repeats: int, measure: Callable[[], dict], *,
+            key: str, readings_key: str | None = None) -> dict:
+    """Best (minimum-``key``) of ``repeats`` measurements.
+
+    Returns a copy of the winning reading with the full list of ``key``
+    values appended under ``readings_key`` (default ``readings_<key>``)
+    so the report preserves the spread, not just the minimum.
+    """
+    readings = [measure() for _ in range(max(1, repeats))]
+    best = dict(min(readings, key=lambda r: r[key]))
+    best[readings_key or f"readings_{key}"] = [r[key] for r in readings]
+    return best
+
+
+def emit(outcome: dict, output: Path | str | None = None) -> str:
+    """Print the indented JSON report; mirror it to ``output`` if given."""
+    text = json.dumps(outcome, indent=2)
+    print(text)
+    if output is not None:
+        Path(output).write_text(text + "\n")
+    return text
+
+
+@contextmanager
+def scratch_cache_dir(cache_dir: Path | None,
+                      prefix: str) -> Iterator[Path]:
+    """The run's on-disk cache directory: ``cache_dir`` or a temp one."""
+    if cache_dir is not None:
+        yield cache_dir
+        return
+    with tempfile.TemporaryDirectory(prefix=prefix) as tmp:
+        yield Path(tmp)

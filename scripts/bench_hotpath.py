@@ -24,13 +24,11 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import os
-import subprocess
 import sys
 from pathlib import Path
 
-REPO = Path(__file__).resolve().parent.parent
+from _benchlib import SRC, emit, run_json
 
 #: Runs inside a fresh interpreter per arm so the two arms cannot share
 #: imported modules or warmed caches.  Prints one JSON object.
@@ -68,13 +66,7 @@ json.dump({
 
 def _time_arm(src: Path, apps: str, policies: str,
               trace_len: int, repeats: int) -> dict:
-    env = dict(os.environ, PYTHONPATH=str(src))
-    output = subprocess.run(
-        [sys.executable, "-c", _INNER, apps, policies,
-         str(trace_len), str(repeats)],
-        env=env, check=True, capture_output=True, text=True,
-    ).stdout
-    return json.loads(output)
+    return run_json(_INNER, [apps, policies, trace_len, repeats], src=src)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -93,7 +85,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="omit the per-stage microbench detail")
     args = parser.parse_args(argv)
 
-    after = _time_arm(REPO / "src", args.apps, args.policies,
+    after = _time_arm(SRC, args.apps, args.policies,
                       args.trace_len, args.repeats)
     outcome = {
         "benchmark": "end-to-end cold serial batch "
@@ -114,7 +106,7 @@ def main(argv: list[str] | None = None) -> int:
         outcome["identical_results"] = before["stats"] == after["stats"]
 
     if not args.skip_micro:
-        sys.path.insert(0, str(REPO / "src"))
+        sys.path.insert(0, str(SRC))
         from repro.harness.microbench import microbench_batch  # noqa: E402
 
         os.environ["REPRO_CACHE"] = "0"
@@ -124,10 +116,7 @@ def main(argv: list[str] | None = None) -> int:
         )
         outcome["stage_detail"] = detail["aggregate"]
 
-    text = json.dumps(outcome, indent=2)
-    print(text)
-    if args.output is not None:
-        args.output.write_text(text + "\n")
+    emit(outcome, args.output)
     return 0 if outcome.get("identical_results", True) else 1
 
 

@@ -34,14 +34,10 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
-import os
-import subprocess
 import sys
-import tempfile
 from pathlib import Path
 
-REPO = Path(__file__).resolve().parent.parent
+from _benchlib import best_of, emit, run_json, scratch_cache_dir
 
 _POLICIES = "belady,foo-ohr,flack,furbys,thermometer"
 
@@ -149,14 +145,6 @@ json.dump({"matrix": matrix, "identical": all(matrix.values())},
 """
 
 
-def _subprocess(code: str, args: list[str], env: dict) -> dict:
-    output = subprocess.run(
-        [sys.executable, "-c", code, *args],
-        env=env, check=True, capture_output=True, text=True,
-    ).stdout
-    return json.loads(output)
-
-
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--apps", default="kafka,clang,postgres")
@@ -171,35 +159,28 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--output", type=Path, default=None)
     args = parser.parse_args(argv)
 
-    tmp = None
-    if args.cache_dir is None:
-        tmp = tempfile.TemporaryDirectory(prefix="bench-offline-kernel-")
-        cache_dir = Path(tmp.name)
-    else:
-        cache_dir = args.cache_dir
-    env = dict(
-        os.environ, PYTHONPATH=str(REPO / "src"),
-        REPRO_CACHE="1", REPRO_CACHE_DIR=str(cache_dir),
-    )
+    with scratch_cache_dir(args.cache_dir,
+                           "bench-offline-kernel-") as cache_dir:
+        env = {"REPRO_CACHE": "1", "REPRO_CACHE_DIR": str(cache_dir)}
 
-    lens = f"{args.trace_len},{args.identity_len}"
-    warm = _subprocess(_WARM, [args.apps, args.policies, lens], env)
+        lens = f"{args.trace_len},{args.identity_len}"
+        warm = run_json(_WARM, [args.apps, args.policies, lens], env=env)
 
-    arms = {}
-    for mode in ("kernel", "fastloop", "reference"):
-        arm_env = dict(env)
-        arm_env["REPRO_SIM_FASTPATH"] = "0" if mode == "fastloop" else "1"
-        readings = [
-            _subprocess(_ARM, [mode, args.apps, args.policies,
-                               str(args.trace_len)], arm_env)
-            for _ in range(args.repeats)
-        ]
-        best = min(readings, key=lambda r: r["sim_s"])
-        best["readings_sim_s"] = [r["sim_s"] for r in readings]
-        arms[mode] = best
+        arms = {}
+        for mode in ("kernel", "fastloop", "reference"):
+            arm_env = dict(env)
+            arm_env["REPRO_SIM_FASTPATH"] = "0" if mode == "fastloop" else "1"
+            arms[mode] = best_of(
+                args.repeats,
+                lambda: run_json(
+                    _ARM, [mode, args.apps, args.policies, args.trace_len],
+                    env=arm_env,
+                ),
+                key="sim_s",
+            )
 
-    identity = _subprocess(
-        _IDENTITY, [args.apps, args.policies, str(args.identity_len)], env)
+        identity = run_json(
+            _IDENTITY, [args.apps, args.policies, args.identity_len], env=env)
 
     n_runs = len(args.apps.split(",")) * len(args.policies.split(","))
     outcome = {
@@ -221,13 +202,8 @@ def main(argv: list[str] | None = None) -> int:
         "identical_results": identity["identical"],
         "identity_matrix": identity["matrix"],
     }
-    if tmp is not None:
-        tmp.cleanup()
 
-    text = json.dumps(outcome, indent=2)
-    print(text)
-    if args.output is not None:
-        args.output.write_text(text + "\n")
+    emit(outcome, args.output)
     return 0 if outcome["identical_results"] else 1
 
 

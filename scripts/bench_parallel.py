@@ -17,11 +17,12 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+from _benchlib import SRC, emit
+
+sys.path.insert(0, str(SRC))
 
 from repro.harness.bench import (  # noqa: E402
     BENCH_APPS,
@@ -58,10 +59,7 @@ def main(argv: list[str] | None = None) -> int:
     outcome["policies"] = args.policies
     outcome["trace_len"] = args.trace_len
 
-    text = json.dumps(outcome, indent=2)
-    print(text)
-    if args.output is not None:
-        args.output.write_text(text + "\n")
+    emit(outcome, args.output)
 
     if args.check_determinism and not outcome["identical_results"]:
         print("FAIL: parallel results differ from serial", file=sys.stderr)

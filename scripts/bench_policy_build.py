@@ -25,13 +25,11 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import os
-import subprocess
 import sys
 from pathlib import Path
 
-REPO = Path(__file__).resolve().parent.parent
+from _benchlib import SRC, emit, run_json
 
 #: Runs inside a fresh interpreter per arm so the two arms cannot share
 #: imported modules or warmed caches.  Prints one JSON object.
@@ -90,13 +88,7 @@ DEFAULT_POLICIES = (
 
 def _time_arm(src: Path, apps: str, policies: str,
               trace_len: int, repeats: int) -> dict:
-    env = dict(os.environ, PYTHONPATH=str(src))
-    output = subprocess.run(
-        [sys.executable, "-c", _INNER, apps, policies,
-         str(trace_len), str(repeats)],
-        env=env, check=True, capture_output=True, text=True,
-    ).stdout
-    return json.loads(output)
+    return run_json(_INNER, [apps, policies, trace_len, repeats], src=src)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -115,7 +107,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="omit the per-stage breakdown detail")
     args = parser.parse_args(argv)
 
-    after = _time_arm(REPO / "src", args.apps, args.policies,
+    after = _time_arm(SRC, args.apps, args.policies,
                       args.trace_len, args.repeats)
     outcome = {
         "benchmark": "cold policy construction, offline/profiled batch "
@@ -136,7 +128,7 @@ def main(argv: list[str] | None = None) -> int:
         outcome["identical_results"] = before["stats"] == after["stats"]
 
     if not args.skip_stages:
-        sys.path.insert(0, str(REPO / "src"))
+        sys.path.insert(0, str(SRC))
         from repro.harness.microbench import policy_build_batch  # noqa: E402
 
         os.environ["REPRO_CACHE"] = "0"
@@ -146,10 +138,7 @@ def main(argv: list[str] | None = None) -> int:
         )
         outcome["stage_detail"] = detail["aggregate"]
 
-    text = json.dumps(outcome, indent=2)
-    print(text)
-    if args.output is not None:
-        args.output.write_text(text + "\n")
+    emit(outcome, args.output)
     return 0 if outcome.get("identical_results", True) else 1
 
 

@@ -27,14 +27,11 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
-import os
-import subprocess
 import sys
 import tempfile
 from pathlib import Path
 
-REPO = Path(__file__).resolve().parent.parent
+from _benchlib import SRC, emit, run_json
 
 #: Runs inside a fresh interpreter per arm so the two arms cannot share
 #: imported modules or warmed caches.  Prints one JSON object.
@@ -132,16 +129,9 @@ json.dump(trace_cache_stats(), sys.stdout)
 """
 
 
-def _run_inner(src: Path, code: str, argv: list[str],
+def _run_inner(src: Path, code: str, argv: list,
                extra_env: dict | None = None) -> dict:
-    env = dict(os.environ, PYTHONPATH=str(src))
-    if extra_env:
-        env.update(extra_env)
-    output = subprocess.run(
-        [sys.executable, "-c", code, *argv],
-        env=env, check=True, capture_output=True, text=True,
-    ).stdout
-    return json.loads(output)
+    return run_json(code, argv, src=src, env=extra_env)
 
 
 def _cache_smoke(src: Path, apps: str, trace_len: int) -> dict:
@@ -182,7 +172,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="also write the JSON to this file")
     args = parser.parse_args(argv)
 
-    src = REPO / "src"
+    src = SRC
     inner_args = [args.apps, str(args.trace_len), str(args.repeats)]
     after = _run_inner(src, _INNER, inner_args)
     outcome = {
@@ -209,10 +199,7 @@ def main(argv: list[str] | None = None) -> int:
             src, args.apps, min(args.trace_len, 8000)
         )
 
-    text = json.dumps(outcome, indent=2)
-    print(text)
-    if args.output is not None:
-        args.output.write_text(text + "\n")
+    emit(outcome, args.output)
     ok = (
         outcome.get("identical_results", True)
         and outcome.get("million_lookup_roundtrip",

@@ -12,6 +12,7 @@ Examples::
     repro bench --stage policy_build   # policy construction only
     repro bench --stage trace_build    # trace construction only
     repro bench --stage offline_sim    # offline/profile-guided kernel arms
+    repro bench --stage fused_sim      # arm-fused sweep vs per-arm kernels
     repro bench --profile      # cProfile one cold run
     repro bench --chaos        # fault-injection smoke (crash/hang/corrupt)
     repro fig8 --on-error skip # keep partial results on worker failures
@@ -103,10 +104,21 @@ def _bench(args: argparse.Namespace) -> int:
                 trace_len=args.trace_len or 20_000,
                 repeats=args.repeats,
             )
+        elif args.stage == "fused_sim":
+            from .harness.microbench import (
+                FUSED_BENCH_POLICIES, fused_sim_batch,
+            )
+
+            outcome = fused_sim_batch(
+                apps,
+                policies if args.policies else FUSED_BENCH_POLICIES,
+                trace_len=args.trace_len or 20_000,
+                repeats=args.repeats,
+            )
         else:
             print(f"unknown --stage {args.stage!r}; 'policy_build', "
-                  "'trace_build', 'frontend_sim' and 'offline_sim' are "
-                  "available",
+                  "'trace_build', 'frontend_sim', 'offline_sim' and "
+                  "'fused_sim' are available",
                   file=sys.stderr)
             return 2
         text = json.dumps(outcome, indent=2)
@@ -114,7 +126,19 @@ def _bench(args: argparse.Namespace) -> int:
         if args.output:
             with open(args.output, "w") as handle:
                 handle.write(text + "\n")
-        if args.stage in ("frontend_sim", "offline_sim"):
+        if args.baseline:
+            from .harness.microbench import check_baseline
+
+            with open(args.baseline) as handle:
+                baseline = json.load(handle)
+            ok, message = check_baseline(
+                outcome["aggregate"], baseline["aggregate"],
+                tolerance=args.tolerance,
+            )
+            print(message, file=sys.stderr)
+            if not ok:
+                return 1
+        if args.stage in ("frontend_sim", "offline_sim", "fused_sim"):
             return 0 if outcome["aggregate"]["identical_results"] else 1
         return 0
 
@@ -243,7 +267,8 @@ def main(argv: list[str] | None = None) -> int:
              "breakdown; 'trace_build': cold trace construction — no "
              "simulation loops either way; 'frontend_sim': kernel vs "
              "fastloop vs reference simulation arms; 'offline_sim': the "
-             "same over the offline/profile-guided policies)",
+             "same over the offline/profile-guided policies; 'fused_sim': "
+             "one arm-fused sweep vs the per-arm kernels)",
     )
     parser.add_argument(
         "--policies",

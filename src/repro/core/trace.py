@@ -61,6 +61,10 @@ _HEADER = "#repro-trace v1"
 #: so ``file``/``head`` on a trace file still identify it.
 BINARY_MAGIC = b"#repro-trace v2\n"
 
+#: Chunk size for streaming binary-trace reads and checksums (a
+#: multiple of every column itemsize, so chunks split on item bounds).
+_READ_CHUNK_BYTES = 8 << 20
+
 #: Flag bits of the packed per-lookup bitmask column.
 FLAG_TERMINATED = 1
 FLAG_CONTAINS = 2
@@ -295,6 +299,32 @@ _live_traces: "weakref.WeakValueDictionary[int, Trace]" = \
     weakref.WeakValueDictionary()
 
 
+#: Cumulative count of memo entries evicted via :func:`drop_simd_memos`.
+_memo_evictions = 0
+
+
+def drop_simd_memos() -> int:
+    """Evict every live trace's simd column-pass memos; returns count.
+
+    The packed kernel columns are by far the largest per-trace memo
+    (tens of MB per (trace, geometry) pair at figure scale), and they
+    key on tuples starting with ``"simd"``.  The registry LRU holds
+    traces alive across :func:`repro.workloads.registry.clear_trace_cache`
+    callers that still pin a trace reference, so a cache clear must
+    drop the memos directly rather than rely on the traces dying.
+    """
+    global _memo_evictions
+    dropped = 0
+    for trace in list(_live_traces.values()):
+        stale = [key for key in trace._derived
+                 if isinstance(key, tuple) and key and key[0] == "simd"]
+        for key in stale:
+            del trace._derived[key]
+        dropped += len(stale)
+    _memo_evictions += dropped
+    return dropped
+
+
 def memo_census() -> dict[str, int]:
     """Memory-resident per-trace memo entries, across all live traces.
 
@@ -313,7 +343,8 @@ def memo_census() -> dict[str, int]:
         if held:
             traces += 1
             entries += held
-    return {"traces": traces, "entries": entries}
+    return {"traces": traces, "entries": entries,
+            "evicted": _memo_evictions}
 
 
 @dataclass(frozen=True, slots=True)
@@ -687,7 +718,16 @@ class Trace:
         stream.write(BINARY_MAGIC)
         stream.write(struct.pack("<IQ", len(meta_json), len(columns)))
         stream.write(meta_json)
-        stream.write(columns.to_payload())
+        for column in (columns.starts, columns.uops, columns.insts,
+                       columns.bytes_len, columns.flags):
+            if sys.byteorder == "big":  # pragma: no cover - exotic platform
+                column = array(column.typecode, column)
+                column.byteswap()
+            # Column by column, chunk by chunk: never one payload-sized
+            # bytes object in memory (see parse_binary).
+            step = _READ_CHUNK_BYTES // column.itemsize
+            for i in range(0, len(column), step):
+                stream.write(column[i:i + step].tobytes())
 
     def save_binary(self, path: str | Path) -> None:
         with open(path, "wb") as handle:
@@ -726,10 +766,40 @@ class Trace:
             )
         except ValueError as exc:
             raise TraceError(f"corrupt binary trace metadata: {exc}") from exc
-        payload = read_exact(TraceColumns.payload_size(n), "columns")
+        def read_column(code: str, what: str) -> array:
+            # Stream each column in bounded chunks instead of one
+            # payload-sized read: a 10M-lookup trace is a 210MB payload,
+            # and the monolithic read would hold it alongside the column
+            # copies.  Peak transient memory here is one chunk.
+            column = array(code)
+            remaining = column.itemsize * n
+            pending = b""
+            while remaining:
+                data = stream.read(min(remaining, _READ_CHUNK_BYTES))
+                if not data:
+                    raise TraceError(f"binary trace truncated in {what}")
+                remaining -= len(data)
+                if pending:
+                    data, pending = pending + data, b""
+                cut = len(data) - len(data) % column.itemsize
+                column.frombytes(data[:cut])
+                pending = data[cut:]
+            if pending:  # pragma: no cover - only a misbehaving stream
+                raise TraceError(f"binary trace truncated in {what}")
+            if sys.byteorder == "big":  # pragma: no cover - exotic platform
+                column.byteswap()
+            return column
+
+        columns = TraceColumns(
+            read_column(_START_CODE, "starts"),
+            read_column(_COUNT_CODE, "uops"),
+            read_column(_COUNT_CODE, "insts"),
+            read_column(_COUNT_CODE, "bytes_len"),
+            read_column(_FLAG_CODE, "flags"),
+        )
         if stream.read(1):
             raise TraceError("binary trace has trailing bytes")
-        return cls(columns=TraceColumns.from_payload(payload, n), metadata=meta)
+        return cls(columns=columns, metadata=meta)
 
     @classmethod
     def load_binary(cls, path: str | Path) -> "Trace":

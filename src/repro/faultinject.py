@@ -17,6 +17,9 @@ Spec grammar (``REPRO_FAULT_SPEC``, ``;``-separated faults)::
     artifact:<kind>:corrupt   garble the next <kind>-artifact file read
                               (kind: stats|hitstats|profile|trace)
     shm:attach:fail           the next worker shared-memory attach fails
+    fused:group:raise         the next arm-fused group sweep raises before
+                              simulating, so the batch reroutes the group
+                              to the per-arm path
 
 Task numbers count the batch's cold (post-dedup, post-cache-probe)
 requests in submission order, so a spec names the same simulation every
@@ -30,9 +33,10 @@ under the system temp dir is used (stale claims from a previous run
 with the same spec then suppress refiring — fine for tests, which pass
 an explicit directory).
 
-Faults only arm inside pool workers and the artifact/shm paths; the
-plain serial execution path never injects, so a fault-free serial run
-is always available as the bit-identity reference.
+Faults only arm inside pool workers and the artifact/shm/fused-sweep
+paths; the plain per-arm serial execution path never injects, so a
+fault-free serial run is always available as the bit-identity
+reference.
 """
 
 from __future__ import annotations
@@ -50,6 +54,7 @@ __all__ = [
     "FaultPlan",
     "active_plan",
     "maybe_corrupt_artifact",
+    "maybe_fail_fused_group",
     "maybe_fail_shm_attach",
     "on_worker_task",
     "reset_plan_cache",
@@ -96,6 +101,7 @@ def _parse_fault(text: str) -> _Fault:
         "task": ("crash", "hang", "raise"),
         "artifact": ("corrupt",),
         "shm": ("fail",),
+        "fused": ("raise",),
     }
     if kind not in valid:
         raise FaultInjectionError(f"unknown fault kind {kind!r} in {text!r}")
@@ -192,6 +198,13 @@ class FaultPlan:
                     return True
         return False
 
+    def fail_fused_group(self) -> bool:
+        for fault in self.faults:
+            if fault.kind == "fused" and fault.action == "raise":
+                if self._claim(fault):
+                    return True
+        return False
+
 
 # The plan is cached per (spec, state) pair so the hot hooks cost one
 # env read + tuple scan; tests flip the env mid-process, hence the key.
@@ -236,3 +249,10 @@ def maybe_fail_shm_attach() -> None:
     plan = active_plan()
     if plan is not None and plan.fail_shm_attach():
         raise FaultInjectionError("injected shared-memory attach failure")
+
+
+def maybe_fail_fused_group() -> None:
+    """Hook: an arm-fused group sweep is about to simulate."""
+    plan = active_plan()
+    if plan is not None and plan.fail_fused_group():
+        raise FaultInjectionError("injected fused group sweep failure")

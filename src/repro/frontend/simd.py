@@ -287,13 +287,31 @@ def _precompute(trace: "Trace", *, n_sets: int, uops_per_entry: int,
 
 def _build_columns(trace: "Trace", *, n_sets: int, uops_per_entry: int,
                    line_bytes: int, decode_width: int, btb_n_sets: int,
-                   ic_n_sets: int, delay: int, set_index_fn) -> dict:
+                   ic_n_sets: int, delay: int, set_index_fn,
+                   lo: int = 0, hi=None) -> dict:
+    """Derived columns for the lookup window ``[lo, hi)``.
+
+    The default (``lo=0``, ``hi=None``) builds the full trace; the
+    streaming fused sweep builds bounded windows instead.  Window reads
+    are indexed relative to the returned ``base``: completions trail the
+    window start by up to the insertion delay and the GHRP signature
+    looks up to ``delay`` lookups ahead, so the materialized slice is
+    ``[max(0, lo - delay), min(n, hi + delay))`` and every in-window
+    access — including the four-lookup history back-context, handled
+    separately below — stays inside it.
+    """
     columns = trace.columns
-    starts = _np.frombuffer(columns.starts, dtype=_np.uint64)
-    uops = _np.frombuffer(columns.uops, dtype=_np.uint32)
-    insts = _np.frombuffer(columns.insts, dtype=_np.uint32)
-    bytes_len = _np.frombuffer(columns.bytes_len, dtype=_np.uint32)
-    flags = _np.frombuffer(columns.flags, dtype=_np.uint8)
+    starts_all = _np.frombuffer(columns.starts, dtype=_np.uint64)
+    n_total = len(starts_all)
+    if hi is None:
+        hi = n_total
+    clo = max(0, lo - delay)
+    chi = min(n_total, hi + delay)
+    starts = starts_all[clo:chi]
+    uops = _np.frombuffer(columns.uops, dtype=_np.uint32)[clo:chi]
+    insts = _np.frombuffer(columns.insts, dtype=_np.uint32)[clo:chi]
+    bytes_len = _np.frombuffer(columns.bytes_len, dtype=_np.uint32)[clo:chi]
+    flags = _np.frombuffer(columns.flags, dtype=_np.uint8)[clo:chi]
     n = len(starts)
 
     # Micro-op cache set index per lookup.  The shipped hash-index
@@ -320,21 +338,30 @@ def _build_columns(trace: "Trace", *, n_sets: int, uops_per_entry: int,
 
     terminated = (flags & FLAG_TERMINATED) != 0
     mispredicted = (flags & FLAG_MISPREDICTED) != 0
-    # Branch-terminated subset for the compressed BTB pass.
-    branch_pos = _np.nonzero(terminated)[0]
-    branch_pcs = (starts[branch_pos]
-                  + bytes_len[branch_pos].astype(_np.uint64) - _np.uint64(1))
+    # Branch-terminated subset for the compressed BTB pass.  Positions
+    # stay absolute so the segment's searchsorted with absolute bounds
+    # yields indices into the window-local pcs/si lists.
+    branch_rel = _np.nonzero(terminated)[0]
+    branch_pos = branch_rel + clo
+    branch_pcs = (starts[branch_rel]
+                  + bytes_len[branch_rel].astype(_np.uint64) - _np.uint64(1))
     branch_si = (branch_pcs >> _np.uint64(2)) % _np.uint64(btb_n_sets)
 
     # GHRP global history *before* each lookup:
     # h' = ((h << 5) ^ (start >> 4)) & 0xFFFFF.  Four updates fully
     # shift out the previous value, so h_i is a closed-form shift-XOR
     # of the last four starts — an exact vectorization of the scan.
-    x = ((starts >> _np.uint64(4)) & _np.uint64(0xFFFFF)).astype(_np.uint32)
-    hist = _np.zeros(n + 1, dtype=_np.uint32)
+    # Windowed builds extend the input four lookups left so hist values
+    # at positions >= clo see their full back-context, then trim.
+    xlo = max(0, clo - 4)
+    x = ((starts_all[xlo:chi] >> _np.uint64(4))
+         & _np.uint64(0xFFFFF)).astype(_np.uint32)
+    m = chi - xlo
+    hist = _np.zeros(m + 1, dtype=_np.uint32)
     for back, shift in ((1, 0), (2, 5), (3, 10), (4, 15)):
-        hist[back:] ^= x[: n - back + 1] << _np.uint32(shift)
+        hist[back:] ^= x[: m - back + 1] << _np.uint32(shift)
     hist &= _np.uint32(0xFFFFF)
+    hist = hist[clo - xlo:]
 
     # GHRP insertion signature per *scheduling* lookup.  A pending
     # insertion scheduled by lookup m drains at exactly now = m + delay
@@ -342,9 +369,12 @@ def _build_columns(trace: "Trace", *, n_sets: int, uops_per_entry: int,
     # time; anything still pending at trace end uses hist[n]), and a
     # superseding window keeps both the start and the original due, so
     # the signature and predictor-table indices are pure functions of m.
-    drain_idx = _np.minimum(
-        _np.arange(n, dtype=_np.int64) + delay, n)
-    g_sig = (((starts >> _np.uint64(4)) ^ hist[drain_idx].astype(_np.uint64))
+    # In a mid-trace window the clamp target chi exceeds hi - 1 + delay,
+    # so every in-window signature is exact; the trailing margin rows
+    # are clamped-and-garbage but never scheduled by this window.
+    drain_rel = _np.minimum(
+        _np.arange(clo, chi, dtype=_np.int64) + delay, chi) - clo
+    g_sig = (((starts >> _np.uint64(4)) ^ hist[drain_rel].astype(_np.uint64))
              & _np.uint64(0xFFFFFFFF)).astype(_np.int64)
 
     # Prefix sums: any segment's totals are two array reads.
@@ -362,6 +392,9 @@ def _build_columns(trace: "Trace", *, n_sets: int, uops_per_entry: int,
     contains_l = ((flags & FLAG_CONTAINS) != 0).tolist()
     uops_l = uops.tolist()
     return {
+        # Index offset of this window's columns: loop indices subtract
+        # it at every column read site (0 for a full build).
+        "base": clo,
         "starts": starts.tolist(),
         "uops": uops_l,
         "insts": insts_l,
@@ -413,7 +446,7 @@ class _Kernel:
     """One kernel execution: state shared across warmup/measure segments."""
 
     def __init__(self, pipeline: "FrontendPipeline", trace: "Trace",
-                 warmup: int) -> None:
+                 warmup: int, *, columns=None, n_total=None) -> None:
         self.pipeline = pipeline
         self.trace = trace
         self.warmup = warmup
@@ -426,18 +459,24 @@ class _Kernel:
         self.line_bytes = config.icache.line_bytes
         self.inclusive = uc.inclusive_with_icache
 
-        self.cols = _precompute(
-            trace,
-            n_sets=uc.sets,
-            uops_per_entry=uc.uops_per_entry,
-            line_bytes=config.icache.line_bytes,
-            decode_width=config.core.decode_width,
-            btb_n_sets=pipeline.btb._n_sets,
-            ic_n_sets=config.icache.sets,
-            delay=uc.insertion_delay,
-            set_index_fn=pipeline.uop_cache._set_index,
-        )
-        self.n = len(self.cols["starts"])
+        if columns is None:
+            columns = _precompute(
+                trace,
+                n_sets=uc.sets,
+                uops_per_entry=uc.uops_per_entry,
+                line_bytes=config.icache.line_bytes,
+                decode_width=config.core.decode_width,
+                btb_n_sets=pipeline.btb._n_sets,
+                ic_n_sets=config.icache.sets,
+                delay=uc.insertion_delay,
+                set_index_fn=pipeline.uop_cache._set_index,
+            )
+        self.cols = columns
+        # Streaming callers pass a bounded window plus the true trace
+        # length; ``col_base`` shifts every column read accordingly.
+        self.col_base = columns.get("base", 0)
+        self.n = (n_total if n_total is not None
+                  else self.col_base + len(self.cols["starts"]))
         self.hist = self.cols["hist"]
         self.hist_now = 0
 
@@ -578,10 +617,10 @@ class _Kernel:
         self._sync_back()
         return pipeline._finalize(n)
 
-    def _specialized(self):
-        """Compiled flag-specialized segment variant (None on failure)."""
+    def _spec_flags(self) -> dict:
+        """Run-constant flags the specialized segment bakes in."""
         kind = self.kind
-        return _specialized_segment({
+        return {
             "is_lru": kind == "lru",
             "is_srrip": kind == "srrip",
             "is_ghrp": kind == "ghrp",
@@ -591,7 +630,11 @@ class _Kernel:
             "perfect_icache": self.pipeline.config.perfect_icache,
             "inclusive": self.inclusive,
             "inline_shuffle": _INLINE_SHUFFLE,
-        })
+        }
+
+    def _specialized(self):
+        """Compiled flag-specialized segment variant (None on failure)."""
+        return _specialized_segment(self._spec_flags())
 
     def _rebuild_policy_dicts(self) -> None:
         """Refill the live policy dicts from the resident records.
@@ -642,7 +685,8 @@ class _Kernel:
         """Complete insertions still in flight at trace end."""
         self._rebuild_policy_dicts()
         now = n + self.delay
-        self.hist_now = int(self.hist[n])
+        base = self.col_base
+        self.hist_now = int(self.hist[n - base])
         pending = self.pending
         in_flight = self.in_flight
         starts_l = self.cols["starts"]
@@ -650,7 +694,7 @@ class _Kernel:
         # Pending entries are scheduling indices: due = m + delay and
         # start = starts[m] are both derivable, so nothing else is stored.
         while pending and pending[0] + delay <= now:
-            start = starts_l[pending.popleft()]
+            start = starts_l[pending.popleft() - base]
             request = in_flight.pop(start, None)
             if request is None:
                 continue
@@ -699,7 +743,7 @@ class _Kernel:
         cache._line_map = line_map
         pipeline._on_uop_path = self.on_uop_path
         if self.kind == "ghrp":
-            pipeline.policy._history = int(self.hist[self.n])
+            pipeline.policy._history = int(self.hist[self.n - self.col_base])
         # Rebuild resident StoredPW objects so post-run cache probes
         # (tests, notebooks) see the expected contents.  Way-slot ids
         # are reassigned in residency order; kernel-eligible policies
@@ -948,6 +992,7 @@ class _Kernel:
         line_bytes = self.line_bytes
         decode_width = cfg.core.decode_width
         delay = self.delay
+        base = self.col_base
 
         starts_l = cols["starts"]
         uops_l = cols["uops"]
@@ -1009,6 +1054,7 @@ class _Kernel:
         line_map_get = line_map.get
 
         # --- compressed BTB pass (independent of cache state) ---
+        # [fused:btb]
         if not cfg.perfect_btb:
             btb = pipeline.btb
             bsets = btb._sets
@@ -1034,6 +1080,7 @@ class _Kernel:
             self.btb_accesses += hi - lo
             self.btb_misses += btb_misses
             stats.btb_misses += btb_misses
+        # [fused:/btb]
 
         # --- segment-local counters ---
         pw_partial_hits = 0
@@ -1057,12 +1104,13 @@ class _Kernel:
         sig = i0 = i1 = i2 = 0
 
         for now, start, uops in zip(range(begin, end),
-                                    starts_l[begin:end], uops_l[begin:end]):
+                                    starts_l[begin - base:end - base],
+                                    uops_l[begin - base:end - base]):
             if next_due <= now:
                 lim = now - delay
                 while pending and pending[0] <= lim:
                     qi = pending_popleft()
-                    queued_start = starts_l[qi]
+                    queued_start = starts_l[qi - base]
                     request = in_flight_pop(queued_start, None)
                     if request is None:
                         continue  # superseded and already completed
@@ -1090,10 +1138,10 @@ class _Kernel:
                     if is_ghrp:
                         # Signature and table indices were vectorized at
                         # column-build time, keyed by scheduling index.
-                        sig = g_sig_l[qi]
-                        i0 = g_i0_l[qi]
-                        i1 = g_i1_l[qi]
-                        i2 = g_i2_l[qi]
+                        sig = g_sig_l[qi - base]
+                        i0 = g_i0_l[qi - base]
+                        i1 = g_i1_l[qi - base]
+                        i2 = g_i2_l[qi - base]
                         if t0[i0] + t1[i1] + t2[i2] >= _BYPASS_THRESHOLD:
                             g_bypassed[queued_start] = (sig, now)
                             if len(g_bypassed) > 1 << 16:
@@ -1413,165 +1461,164 @@ class _Kernel:
                 if not on_uop_path:
                     path_switches += 1
                     on_uop_path = True
-                continue
-
-            request = reqs_l[now]
-            if rec is None:
-                # Full miss: record the index; totals are fancy-indexed
-                # numpy sums at segment fold time.
-                miss_append(now)
-                if on_uop_path:
-                    path_switches += 1
-                    on_uop_path = False
-                fetch_first = ff_l[now]
-                fetch_last = fl_l[now]
             else:
-                # Partial hit: stored prefix served, remainder decodes,
-                # merged larger window is scheduled for insertion.
-                served = rec[0]
-                missed = uops - served
-                insts_now = request[1]
-                pw_partial_hits += 1
-                uops_missed += missed
-                reads_corr += rec[1] - request[5]
-                missed_insts = max(1, round(insts_now * missed / uops))
-                dec_episodes += 1
-                dec_insts += missed_insts
-                dec_uops += missed
-                cycles = -(-missed_insts // decode_width)
-                dec_cycles += cycles if cycles > 1 else 1
-                if track_lu:
-                    rec[8] = now
-                    if is_srrip:
-                        rec[9] = RRPV_HIT - rrpv_off[rec[2]]
-                elif is_ghrp:
-                    rec[8] = now
-                    if not rec[12]:
-                        rec[12] = True
-                        hi0 = rec[9]
-                        if hi0 is not None:
-                            c = t0[hi0]
-                            if c > 0:
-                                t0[hi0] = c - 1
-                            hi1 = rec[10]
-                            c = t1[hi1]
-                            if c > 0:
-                                t1[hi1] = c - 1
-                            hi2 = rec[11]
-                            c = t2[hi2]
-                            if c > 0:
-                                t2[hi2] = c - 1
-                path_switches += 1 if on_uop_path else 2
-                on_uop_path = False
-                fetch_start = start + rec[4]
-                fetch_end = start + request[2]
-                fetch_first = fetch_start // line_bytes
-                if fetch_end > fetch_start:
-                    fetch_last = (fetch_end - 1) // line_bytes
+                request = reqs_l[now - base]
+                if rec is None:
+                    # Full miss: record the index; totals are fancy-indexed
+                    # numpy sums at segment fold time.
+                    miss_append(now)
+                    if on_uop_path:
+                        path_switches += 1
+                        on_uop_path = False
+                    fetch_first = ff_l[now - base]
+                    fetch_last = fl_l[now - base]
                 else:
-                    fetch_last = fetch_first
+                    # Partial hit: stored prefix served, remainder decodes,
+                    # merged larger window is scheduled for insertion.
+                    served = rec[0]
+                    missed = uops - served
+                    insts_now = request[1]
+                    pw_partial_hits += 1
+                    uops_missed += missed
+                    reads_corr += rec[1] - request[5]
+                    missed_insts = max(1, round(insts_now * missed / uops))
+                    dec_episodes += 1
+                    dec_insts += missed_insts
+                    dec_uops += missed
+                    cycles = -(-missed_insts // decode_width)
+                    dec_cycles += cycles if cycles > 1 else 1
+                    if track_lu:
+                        rec[8] = now
+                        if is_srrip:
+                            rec[9] = RRPV_HIT - rrpv_off[rec[2]]
+                    elif is_ghrp:
+                        rec[8] = now
+                        if not rec[12]:
+                            rec[12] = True
+                            hi0 = rec[9]
+                            if hi0 is not None:
+                                c = t0[hi0]
+                                if c > 0:
+                                    t0[hi0] = c - 1
+                                hi1 = rec[10]
+                                c = t1[hi1]
+                                if c > 0:
+                                    t1[hi1] = c - 1
+                                hi2 = rec[11]
+                                c = t2[hi2]
+                                if c > 0:
+                                    t2[hi2] = c - 1
+                    path_switches += 1 if on_uop_path else 2
+                    on_uop_path = False
+                    fetch_start = start + rec[4]
+                    fetch_end = start + request[2]
+                    fetch_first = fetch_start // line_bytes
+                    if fetch_end > fetch_start:
+                        fetch_last = (fetch_end - 1) // line_bytes
+                    else:
+                        fetch_last = fetch_first
 
-            n_lines = fetch_last - fetch_first + 1
-            icache_accesses += n_lines
-            if not perfect_icache:
-                ic_acc += n_lines
-                # Same line as the previous icache access: still the MRU
-                # entry of its set (nothing has touched that set since),
-                # so the hit is free — no probe, no move_to_end.
-                if n_lines == 1:
-                    if fetch_first != ic_prev:
-                        ic_prev = fetch_first
-                        # Full misses fetch from the lookup's own first
-                        # line, whose set index is a precomputed column.
-                        icset = isets[ic_si_l[now] if rec is None
-                                      else fetch_first % ic_n_sets]
-                        if fetch_first in icset:
-                            icset.move_to_end(fetch_first)
-                        else:
+                n_lines = fetch_last - fetch_first + 1
+                icache_accesses += n_lines
+                if not perfect_icache:
+                    ic_acc += n_lines
+                    # Same line as the previous icache access: still the MRU
+                    # entry of its set (nothing has touched that set since),
+                    # so the hit is free — no probe, no move_to_end.
+                    if n_lines == 1:
+                        if fetch_first != ic_prev:
+                            ic_prev = fetch_first
+                            # Full misses fetch from the lookup's own first
+                            # line, whose set index is a precomputed column.
+                            icset = isets[ic_si_l[now - base] if rec is None
+                                          else fetch_first % ic_n_sets]
+                            if fetch_first in icset:
+                                icset.move_to_end(fetch_first)
+                            else:
+                                ic_miss += 1
+                                if len(icset) >= ic_ways:
+                                    victim_line, _ = icset.popitem(last=False)
+                                    if inclusive:
+                                        victim_starts = line_map_get(victim_line)
+                                        if victim_starts:
+                                            for vstart in list(victim_starts):
+                                                vrec = resident_get(vstart)
+                                                if (vrec is not None
+                                                        and vrec[6] <= victim_line
+                                                        <= vrec[7]):
+                                                    remove(now, vstart, vrec,
+                                                           _INCLUSIVE)
+                                                    inclusive_invalidations += 1
+                                icset[fetch_first] = None
+                    else:
+                        evicted = []
+                        for line in range(fetch_first, fetch_last + 1):
+                            if line == ic_prev:
+                                continue
+                            ic_prev = line
+                            icset = isets[line % ic_n_sets]
+                            if line in icset:
+                                icset.move_to_end(line)
+                                continue
                             ic_miss += 1
                             if len(icset) >= ic_ways:
                                 victim_line, _ = icset.popitem(last=False)
-                                if inclusive:
-                                    victim_starts = line_map_get(victim_line)
-                                    if victim_starts:
-                                        for vstart in list(victim_starts):
-                                            vrec = resident_get(vstart)
-                                            if (vrec is not None
-                                                    and vrec[6] <= victim_line
-                                                    <= vrec[7]):
-                                                remove(now, vstart, vrec,
-                                                       _INCLUSIVE)
-                                                inclusive_invalidations += 1
-                            icset[fetch_first] = None
-                else:
-                    evicted = []
-                    for line in range(fetch_first, fetch_last + 1):
-                        if line == ic_prev:
-                            continue
-                        ic_prev = line
-                        icset = isets[line % ic_n_sets]
-                        if line in icset:
-                            icset.move_to_end(line)
-                            continue
-                        ic_miss += 1
-                        if len(icset) >= ic_ways:
-                            victim_line, _ = icset.popitem(last=False)
-                            evicted.append(victim_line)
-                        icset[line] = None
-                    if inclusive and evicted:
-                        for victim_line in evicted:
-                            victim_starts = line_map_get(victim_line)
-                            if victim_starts:
-                                for vstart in list(victim_starts):
-                                    vrec = resident_get(vstart)
-                                    if (vrec is not None
-                                            and vrec[6] <= victim_line
-                                            <= vrec[7]):
-                                        remove(now, vstart, vrec, _INCLUSIVE)
-                                        inclusive_invalidations += 1
+                                evicted.append(victim_line)
+                            icset[line] = None
+                        if inclusive and evicted:
+                            for victim_line in evicted:
+                                victim_starts = line_map_get(victim_line)
+                                if victim_starts:
+                                    for vstart in list(victim_starts):
+                                        vrec = resident_get(vstart)
+                                        if (vrec is not None
+                                                and vrec[6] <= victim_line
+                                                <= vrec[7]):
+                                            remove(now, vstart, vrec, _INCLUSIVE)
+                                            inclusive_invalidations += 1
 
-            # Schedule the insertion (inlined accumulate + supersede).
-            if has_hints:
-                cur = in_flight_get(start)
-                if cur is None:
-                    accumulated += 1
-                    if cont_l[now]:
-                        request = (request[:3] + (hints_get(start),)
-                                   + request[4:])
-                    in_flight[start] = request
-                    pending_append(now)
-                    if next_due == NEVER:
-                        next_due = now + delay
-                elif uops > cur[0]:
-                    # A longer same-start window supersedes the pending
-                    # one (the original due time is kept by the pending
-                    # entry).
-                    accumulated += 1
-                    if cont_l[now]:
-                        request = (request[:3] + (hints_get(start),)
-                                   + request[4:])
-                    in_flight[start] = request
-            else:
-                # setdefault fuses the probe and the store; each reqs_l
-                # tuple is stored at most once, so identity with the
-                # just-read request means the slot was empty.
-                cur = in_flight_setdefault(start, request)
-                if cur is request:
-                    accumulated += 1
-                    pending_append(now)
-                    if next_due == NEVER:
-                        next_due = now + delay
-                elif uops > cur[0]:
-                    # A longer same-start window supersedes the pending
-                    # one (the original due time is kept by the pending
-                    # entry).
-                    accumulated += 1
-                    in_flight[start] = request
+                # Schedule the insertion (inlined accumulate + supersede).
+                if has_hints:
+                    cur = in_flight_get(start)
+                    if cur is None:
+                        accumulated += 1
+                        if cont_l[now - base]:
+                            request = (request[:3] + (hints_get(start),)
+                                       + request[4:])
+                        in_flight[start] = request
+                        pending_append(now)
+                        if next_due == NEVER:
+                            next_due = now + delay
+                    elif uops > cur[0]:
+                        # A longer same-start window supersedes the pending
+                        # one (the original due time is kept by the pending
+                        # entry).
+                        accumulated += 1
+                        if cont_l[now - base]:
+                            request = (request[:3] + (hints_get(start),)
+                                       + request[4:])
+                        in_flight[start] = request
+                else:
+                    # setdefault fuses the probe and the store; each reqs_l
+                    # tuple is stored at most once, so identity with the
+                    # just-read request means the slot was empty.
+                    cur = in_flight_setdefault(start, request)
+                    if cur is request:
+                        accumulated += 1
+                        pending_append(now)
+                        if next_due == NEVER:
+                            next_due = now + delay
+                    elif uops > cur[0]:
+                        # A longer same-start window supersedes the pending
+                        # one (the original due time is kept by the pending
+                        # entry).
+                        accumulated += 1
+                        in_flight[start] = request
 
         # --- fold the segment into stats ---
         pw_misses = len(miss_idx)
         if pw_misses:
-            idx = _np.array(miss_idx, dtype=_np.int64)
+            idx = _np.array(miss_idx, dtype=_np.int64) - base
             miss_uops = int(cols["arr_uops"][idx].sum())
             uops_missed += miss_uops
             dec_uops += miss_uops
@@ -1584,23 +1631,25 @@ class _Kernel:
         cum_insts = cols["cum_insts"]
         cum_esize = cols["cum_esize"]
         cum_branches = cols["cum_branches"]
-        seg_uops = int(cum_uops[end] - cum_uops[begin])
-        seg_branches = int(cum_branches[end] - cum_branches[begin])
+        b0 = begin - base
+        e0 = end - base
+        seg_uops = int(cum_uops[e0] - cum_uops[b0])
+        seg_branches = int(cum_branches[e0] - cum_branches[b0])
         stats.lookups += n_seg
         stats.uops_total += seg_uops
-        stats.instructions += int(cum_insts[end] - cum_insts[begin])
+        stats.instructions += int(cum_insts[e0] - cum_insts[b0])
         stats.branches += seg_branches
         stats.btb_accesses += seg_branches
         if not perfect_bp:
             cum_mispred = cols["cum_mispred"]
-            stats.mispredictions += int(cum_mispred[end] - cum_mispred[begin])
+            stats.mispredictions += int(cum_mispred[e0] - cum_mispred[b0])
         stats.pw_hits += n_seg - pw_partial_hits - pw_misses
         stats.pw_partial_hits += pw_partial_hits
         stats.pw_misses += pw_misses
         stats.uops_hit += seg_uops - uops_missed
         stats.uops_missed += uops_missed
         stats.uop_cache_reads += (
-            int(cum_esize[end] - cum_esize[begin]) + reads_corr
+            int(cum_esize[e0] - cum_esize[b0]) + reads_corr
         )
         stats.decoder_uops += uops_missed
         stats.path_switches += path_switches
@@ -1660,3 +1709,21 @@ def _specialized_segment(flags: dict):
         except Exception:  # pragma: no cover - source unavailable
             _spec_cache[key] = None
     return _spec_cache[key]
+
+
+#: Cumulative evictions via :func:`clear_segment_cache`.
+_spec_evictions = 0
+
+
+def segment_cache_stats() -> dict[str, int]:
+    """Resident and cumulatively evicted compiled online segments."""
+    return {"entries": len(_spec_cache), "evicted": _spec_evictions}
+
+
+def clear_segment_cache() -> int:
+    """Drop the compiled specialized segments (cache maintenance)."""
+    global _spec_evictions
+    dropped = len(_spec_cache)
+    _spec_evictions += dropped
+    _spec_cache.clear()
+    return dropped

@@ -77,8 +77,10 @@ class _OfflineKernel(_Kernel):
     instead of recency ranking).
     """
 
-    def __init__(self, pipeline, trace, warmup: int) -> None:
-        super().__init__(pipeline, trace, warmup)
+    def __init__(self, pipeline, trace, warmup: int, *, columns=None,
+                 n_total=None) -> None:
+        super().__init__(pipeline, trace, warmup, columns=columns,
+                         n_total=n_total)
         policy = pipeline.policy
         # The base constructor resolved the *online* kind (None here);
         # rebind to the offline one — every inherited kind branch in
@@ -139,11 +141,17 @@ class _OfflineKernel(_Kernel):
     # --- orchestration -------------------------------------------------------
 
     def run(self):
+        self._bind_specialized()
+        return super().run()
+
+    def _bind_specialized(self) -> None:
         # Bind the flag-specialized attempt before the segments run:
         # the generic segment, the specialized segment and _drain all
         # call through ``self._attempt``, so the instance binding
         # covers every path (REPRO_SIM_SPECIALIZE=0 keeps the generic
-        # method, whose flag locals branch per attempt instead).
+        # method, whose flag locals branch per attempt instead).  The
+        # fused sweep calls this directly — it drives segments without
+        # going through run().
         if _os.environ.get("REPRO_SIM_SPECIALIZE", "1") != "0":
             spec = _off_specialized_attempt({
                 "is_belady": self.kind == "belady",
@@ -158,12 +166,11 @@ class _OfflineKernel(_Kernel):
             })
             if spec is not None:
                 self._attempt = spec.__get__(self)
-        return super().run()
 
-    def _specialized(self):
-        """Compiled flag-specialized segment variant (None on failure)."""
+    def _spec_flags(self) -> dict:
+        """Run-constant flags the specialized segment bakes in."""
         kind = self.kind
-        return _off_specialized_segment({
+        return {
             "is_replay": kind in ("plan", "greedy"),
             "is_furbys": kind == "furbys",
             "track_lu": kind in ("furbys", "thermometer"),
@@ -171,7 +178,11 @@ class _OfflineKernel(_Kernel):
             "has_hints": bool(self.pipeline.accumulator._hints),
             "perfect_icache": self.pipeline.config.perfect_icache,
             "inclusive": self.inclusive,
-        })
+        }
+
+    def _specialized(self):
+        """Compiled flag-specialized segment variant (None on failure)."""
+        return _off_specialized_segment(self._spec_flags())
 
     def _rebuild_policy_dicts(self) -> None:
         """No-op: the policy dicts are mirrored live by the hot loop."""
@@ -700,6 +711,7 @@ class _OfflineKernel(_Kernel):
         line_bytes = self.line_bytes
         decode_width = cfg.core.decode_width
         delay = self.delay
+        base = self.col_base
 
         starts_l = cols["starts"]
         uops_l = cols["uops"]
@@ -744,6 +756,7 @@ class _OfflineKernel(_Kernel):
         line_map_get = self.line_map.get
 
         # --- compressed BTB pass (independent of cache state) ---
+        # [fused:btb]
         if not cfg.perfect_btb:
             btb = pipeline.btb
             bsets = btb._sets
@@ -769,6 +782,7 @@ class _OfflineKernel(_Kernel):
             self.btb_accesses += hi - lo
             self.btb_misses += btb_misses
             stats.btb_misses += btb_misses
+        # [fused:/btb]
 
         # --- segment-local counters ---
         pw_partial_hits = 0
@@ -788,12 +802,13 @@ class _OfflineKernel(_Kernel):
         next_due = pending[0] + delay if pending else NEVER
 
         for now, start, uops in zip(range(begin, end),
-                                    starts_l[begin:end], uops_l[begin:end]):
+                                    starts_l[begin - base:end - base],
+                                    uops_l[begin - base:end - base]):
             if next_due <= now:
                 lim = now - delay
                 while pending and pending[0] <= lim:
                     qi = pending_popleft()
-                    queued_start = starts_l[qi]
+                    queued_start = starts_l[qi - base]
                     request = in_flight_pop(queued_start, None)
                     if request is None:
                         continue  # superseded and already completed
@@ -820,161 +835,160 @@ class _OfflineKernel(_Kernel):
                 if not on_uop_path:
                     path_switches += 1
                     on_uop_path = True
-                continue
-
-            request = reqs_l[now]
-            if rec is None:
-                # Full miss: record the index; totals are fancy-indexed
-                # numpy sums at segment fold time.
-                miss_append(now)
-                if has_phs:
-                    entry = phs_get(start)
-                    if entry is None:
-                        phs[start] = [0, uops]
-                    else:
-                        entry[1] += uops
-                if is_replay:
-                    pending_lookup_t[start] = now
-                if on_uop_path:
-                    path_switches += 1
-                    on_uop_path = False
-                fetch_first = ff_l[now]
-                fetch_last = fl_l[now]
             else:
-                # Partial hit: stored prefix served, remainder decodes,
-                # merged larger window is scheduled for insertion.
-                served = rec[0]
-                missed = uops - served
-                insts_now = request[1]
-                pw_partial_hits += 1
-                uops_missed += missed
-                reads_corr += rec[1] - request[5]
-                if has_phs:
-                    entry = phs_get(start)
-                    if entry is None:
-                        phs[start] = [served, uops]
-                    else:
-                        entry[0] += served
-                        entry[1] += uops
-                missed_insts = max(1, round(insts_now * missed / uops))
-                dec_episodes += 1
-                dec_insts += missed_insts
-                dec_uops += missed
-                cycles = -(-missed_insts // decode_width)
-                dec_cycles += cycles if cycles > 1 else 1
-                if track_lu:
-                    rec[8] = now  # ranking reads the record stamp
-                    o_last_use[start] = now
-                    if is_furbys:
-                        o_rrpv[start] = RRPV_HIT
-                elif is_replay:
-                    interval_start[start] = now
-                    pending_lookup_t[start] = now
-                path_switches += 1 if on_uop_path else 2
-                on_uop_path = False
-                fetch_start = start + rec[4]
-                fetch_end = start + request[2]
-                fetch_first = fetch_start // line_bytes
-                if fetch_end > fetch_start:
-                    fetch_last = (fetch_end - 1) // line_bytes
-                else:
-                    fetch_last = fetch_first
-
-            n_lines = fetch_last - fetch_first + 1
-            icache_accesses += n_lines
-            if not perfect_icache:
-                ic_acc += n_lines
-                # Same line as the previous icache access: still the MRU
-                # entry of its set, so the hit is free — no probe.
-                if n_lines == 1:
-                    if fetch_first != ic_prev:
-                        ic_prev = fetch_first
-                        icset = isets[ic_si_l[now] if rec is None
-                                      else fetch_first % ic_n_sets]
-                        if fetch_first in icset:
-                            icset.move_to_end(fetch_first)
+                request = reqs_l[now - base]
+                if rec is None:
+                    # Full miss: record the index; totals are fancy-indexed
+                    # numpy sums at segment fold time.
+                    miss_append(now)
+                    if has_phs:
+                        entry = phs_get(start)
+                        if entry is None:
+                            phs[start] = [0, uops]
                         else:
+                            entry[1] += uops
+                    if is_replay:
+                        pending_lookup_t[start] = now
+                    if on_uop_path:
+                        path_switches += 1
+                        on_uop_path = False
+                    fetch_first = ff_l[now - base]
+                    fetch_last = fl_l[now - base]
+                else:
+                    # Partial hit: stored prefix served, remainder decodes,
+                    # merged larger window is scheduled for insertion.
+                    served = rec[0]
+                    missed = uops - served
+                    insts_now = request[1]
+                    pw_partial_hits += 1
+                    uops_missed += missed
+                    reads_corr += rec[1] - request[5]
+                    if has_phs:
+                        entry = phs_get(start)
+                        if entry is None:
+                            phs[start] = [served, uops]
+                        else:
+                            entry[0] += served
+                            entry[1] += uops
+                    missed_insts = max(1, round(insts_now * missed / uops))
+                    dec_episodes += 1
+                    dec_insts += missed_insts
+                    dec_uops += missed
+                    cycles = -(-missed_insts // decode_width)
+                    dec_cycles += cycles if cycles > 1 else 1
+                    if track_lu:
+                        rec[8] = now  # ranking reads the record stamp
+                        o_last_use[start] = now
+                        if is_furbys:
+                            o_rrpv[start] = RRPV_HIT
+                    elif is_replay:
+                        interval_start[start] = now
+                        pending_lookup_t[start] = now
+                    path_switches += 1 if on_uop_path else 2
+                    on_uop_path = False
+                    fetch_start = start + rec[4]
+                    fetch_end = start + request[2]
+                    fetch_first = fetch_start // line_bytes
+                    if fetch_end > fetch_start:
+                        fetch_last = (fetch_end - 1) // line_bytes
+                    else:
+                        fetch_last = fetch_first
+
+                n_lines = fetch_last - fetch_first + 1
+                icache_accesses += n_lines
+                if not perfect_icache:
+                    ic_acc += n_lines
+                    # Same line as the previous icache access: still the MRU
+                    # entry of its set, so the hit is free — no probe.
+                    if n_lines == 1:
+                        if fetch_first != ic_prev:
+                            ic_prev = fetch_first
+                            icset = isets[ic_si_l[now - base] if rec is None
+                                          else fetch_first % ic_n_sets]
+                            if fetch_first in icset:
+                                icset.move_to_end(fetch_first)
+                            else:
+                                ic_miss += 1
+                                if len(icset) >= ic_ways:
+                                    victim_line, _ = icset.popitem(last=False)
+                                    if inclusive:
+                                        victim_starts = line_map_get(victim_line)
+                                        if victim_starts:
+                                            for vstart in list(victim_starts):
+                                                vrec = resident_get(vstart)
+                                                if (vrec is not None
+                                                        and vrec[6] <= victim_line
+                                                        <= vrec[7]):
+                                                    remove(now, vstart, vrec,
+                                                           _INCLUSIVE)
+                                                    inclusive_invalidations += 1
+                                icset[fetch_first] = None
+                    else:
+                        evicted = []
+                        for line in range(fetch_first, fetch_last + 1):
+                            if line == ic_prev:
+                                continue
+                            ic_prev = line
+                            icset = isets[line % ic_n_sets]
+                            if line in icset:
+                                icset.move_to_end(line)
+                                continue
                             ic_miss += 1
                             if len(icset) >= ic_ways:
                                 victim_line, _ = icset.popitem(last=False)
-                                if inclusive:
-                                    victim_starts = line_map_get(victim_line)
-                                    if victim_starts:
-                                        for vstart in list(victim_starts):
-                                            vrec = resident_get(vstart)
-                                            if (vrec is not None
-                                                    and vrec[6] <= victim_line
-                                                    <= vrec[7]):
-                                                remove(now, vstart, vrec,
-                                                       _INCLUSIVE)
-                                                inclusive_invalidations += 1
-                            icset[fetch_first] = None
-                else:
-                    evicted = []
-                    for line in range(fetch_first, fetch_last + 1):
-                        if line == ic_prev:
-                            continue
-                        ic_prev = line
-                        icset = isets[line % ic_n_sets]
-                        if line in icset:
-                            icset.move_to_end(line)
-                            continue
-                        ic_miss += 1
-                        if len(icset) >= ic_ways:
-                            victim_line, _ = icset.popitem(last=False)
-                            evicted.append(victim_line)
-                        icset[line] = None
-                    if inclusive and evicted:
-                        for victim_line in evicted:
-                            victim_starts = line_map_get(victim_line)
-                            if victim_starts:
-                                for vstart in list(victim_starts):
-                                    vrec = resident_get(vstart)
-                                    if (vrec is not None
-                                            and vrec[6] <= victim_line
-                                            <= vrec[7]):
-                                        remove(now, vstart, vrec, _INCLUSIVE)
-                                        inclusive_invalidations += 1
+                                evicted.append(victim_line)
+                            icset[line] = None
+                        if inclusive and evicted:
+                            for victim_line in evicted:
+                                victim_starts = line_map_get(victim_line)
+                                if victim_starts:
+                                    for vstart in list(victim_starts):
+                                        vrec = resident_get(vstart)
+                                        if (vrec is not None
+                                                and vrec[6] <= victim_line
+                                                <= vrec[7]):
+                                            remove(now, vstart, vrec, _INCLUSIVE)
+                                            inclusive_invalidations += 1
 
-            # Schedule the insertion (inlined accumulate + supersede).
-            if has_hints:
-                cur = in_flight_get(start)
-                if cur is None:
-                    accumulated += 1
-                    if cont_l[now]:
-                        request = (request[:3] + (hints_get(start),)
-                                   + request[4:])
-                    in_flight[start] = request
-                    pending_append(now)
-                    if next_due == NEVER:
-                        next_due = now + delay
-                elif uops > cur[0]:
-                    # A longer same-start window supersedes the pending
-                    # one (the original due time is kept by the pending
-                    # entry).
-                    accumulated += 1
-                    if cont_l[now]:
-                        request = (request[:3] + (hints_get(start),)
-                                   + request[4:])
-                    in_flight[start] = request
-            else:
-                # setdefault fuses the probe and the store; each reqs_l
-                # tuple is stored at most once, so identity with the
-                # just-read request means the slot was empty.
-                cur = in_flight_setdefault(start, request)
-                if cur is request:
-                    accumulated += 1
-                    pending_append(now)
-                    if next_due == NEVER:
-                        next_due = now + delay
-                elif uops > cur[0]:
-                    accumulated += 1
-                    in_flight[start] = request
+                # Schedule the insertion (inlined accumulate + supersede).
+                if has_hints:
+                    cur = in_flight_get(start)
+                    if cur is None:
+                        accumulated += 1
+                        if cont_l[now - base]:
+                            request = (request[:3] + (hints_get(start),)
+                                       + request[4:])
+                        in_flight[start] = request
+                        pending_append(now)
+                        if next_due == NEVER:
+                            next_due = now + delay
+                    elif uops > cur[0]:
+                        # A longer same-start window supersedes the pending
+                        # one (the original due time is kept by the pending
+                        # entry).
+                        accumulated += 1
+                        if cont_l[now - base]:
+                            request = (request[:3] + (hints_get(start),)
+                                       + request[4:])
+                        in_flight[start] = request
+                else:
+                    # setdefault fuses the probe and the store; each reqs_l
+                    # tuple is stored at most once, so identity with the
+                    # just-read request means the slot was empty.
+                    cur = in_flight_setdefault(start, request)
+                    if cur is request:
+                        accumulated += 1
+                        pending_append(now)
+                        if next_due == NEVER:
+                            next_due = now + delay
+                    elif uops > cur[0]:
+                        accumulated += 1
+                        in_flight[start] = request
 
         # --- fold the segment into stats ---
         pw_misses = len(miss_idx)
         if pw_misses:
-            idx = _np.array(miss_idx, dtype=_np.int64)
+            idx = _np.array(miss_idx, dtype=_np.int64) - base
             miss_uops = int(cols["arr_uops"][idx].sum())
             uops_missed += miss_uops
             dec_uops += miss_uops
@@ -987,23 +1001,25 @@ class _OfflineKernel(_Kernel):
         cum_insts = cols["cum_insts"]
         cum_esize = cols["cum_esize"]
         cum_branches = cols["cum_branches"]
-        seg_uops = int(cum_uops[end] - cum_uops[begin])
-        seg_branches = int(cum_branches[end] - cum_branches[begin])
+        b0 = begin - base
+        e0 = end - base
+        seg_uops = int(cum_uops[e0] - cum_uops[b0])
+        seg_branches = int(cum_branches[e0] - cum_branches[b0])
         stats.lookups += n_seg
         stats.uops_total += seg_uops
-        stats.instructions += int(cum_insts[end] - cum_insts[begin])
+        stats.instructions += int(cum_insts[e0] - cum_insts[b0])
         stats.branches += seg_branches
         stats.btb_accesses += seg_branches
         if not perfect_bp:
             cum_mispred = cols["cum_mispred"]
-            stats.mispredictions += int(cum_mispred[end] - cum_mispred[begin])
+            stats.mispredictions += int(cum_mispred[e0] - cum_mispred[b0])
         stats.pw_hits += n_seg - pw_partial_hits - pw_misses
         stats.pw_partial_hits += pw_partial_hits
         stats.pw_misses += pw_misses
         stats.uops_hit += seg_uops - uops_missed
         stats.uops_missed += uops_missed
         stats.uop_cache_reads += (
-            int(cum_esize[end] - cum_esize[begin]) + reads_corr
+            int(cum_esize[e0] - cum_esize[b0]) + reads_corr
         )
         stats.decoder_uops += uops_missed
         stats.path_switches += path_switches
@@ -1082,3 +1098,23 @@ def _off_specialized_attempt(flags: dict):
         except Exception:  # pragma: no cover - source unavailable
             _off_att_cache[key] = None
     return _off_att_cache[key]
+
+
+#: Cumulative evictions via :func:`clear_segment_caches`.
+_off_evictions = 0
+
+
+def segment_cache_stats() -> dict[str, int]:
+    """Resident and cumulatively evicted compiled offline segments."""
+    return {"entries": len(_off_spec_cache) + len(_off_att_cache),
+            "evicted": _off_evictions}
+
+
+def clear_segment_caches() -> int:
+    """Drop the compiled offline segment/attempt variants."""
+    global _off_evictions
+    dropped = len(_off_spec_cache) + len(_off_att_cache)
+    _off_evictions += dropped
+    _off_spec_cache.clear()
+    _off_att_cache.clear()
+    return dropped

@@ -38,7 +38,6 @@ demand.
 from __future__ import annotations
 
 import hashlib
-import io
 import json
 import os
 from pathlib import Path
@@ -157,6 +156,29 @@ def _trace_sidecar(path: Path) -> Path:
     return path.with_name(path.name + ".sha256")
 
 
+def _file_checksum(path: Path) -> str:
+    """sha256 of a file's bytes, streamed in bounded chunks."""
+    with open(path, "rb") as handle:
+        return hashlib.file_digest(handle, "sha256").hexdigest()
+
+
+class _HashingWriter:
+    """Tee writer: forwards to a stream while folding a sha256.
+
+    Lets :func:`store_cached_trace` checksum exactly the bytes it
+    writes without ever materializing the whole payload (a 10M-lookup
+    trace is a 210MB file).
+    """
+
+    def __init__(self, handle):
+        self._handle = handle
+        self.digest = hashlib.sha256()
+
+    def write(self, data) -> int:
+        self.digest.update(data)
+        return self._handle.write(data)
+
+
 def load_cached_trace(
     app: str, input_name: str, n_lookups: int, version: str
 ) -> "Trace | None":
@@ -178,24 +200,25 @@ def load_cached_trace(
     from ..core.trace import Trace, TraceError
 
     faultinject.maybe_corrupt_artifact(path, "trace")
-    try:
-        data = path.read_bytes()
-    except OSError:
-        return None
     sidecar = _trace_sidecar(path)
     try:
         expected = sidecar.read_text().strip()
     except OSError:
         expected = None
     try:
-        if expected and hashlib.sha256(data).hexdigest() != expected:
+        # Both the checksum and the parse stream the file in bounded
+        # chunks — a 10M-lookup trace never exists as one bytes object.
+        if expected and _file_checksum(path) != expected:
             raise ArtifactError("binary trace checksum mismatch")
-        trace = Trace.parse_binary(io.BytesIO(data))
+        with open(path, "rb") as handle:
+            trace = Trace.parse_binary(handle)
         if len(trace) != n_lookups or trace.metadata.app != app:
             raise ArtifactError(
                 f"binary trace identity mismatch (app={trace.metadata.app!r}, "
                 f"n={len(trace)}, expected app={app!r}, n={n_lookups})"
             )
+    except OSError:
+        return None
     except (ArtifactError, TraceError) as exc:
         quarantine(path, str(exc))
         sidecar.unlink(missing_ok=True)
@@ -220,14 +243,13 @@ def store_cached_trace(
     path = disk / f"trace-{key}.bin"
     tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
     try:
-        buffer = io.BytesIO()
-        trace.dump_binary(buffer)
-        data = buffer.getvalue()
-        tmp.write_bytes(data)
+        with open(tmp, "wb") as handle:
+            writer = _HashingWriter(handle)
+            trace.dump_binary(writer)
         os.replace(tmp, path)
         sidecar = _trace_sidecar(path)
         sidecar_tmp = sidecar.with_name(f"{sidecar.name}.{os.getpid()}.tmp")
-        sidecar_tmp.write_text(hashlib.sha256(data).hexdigest() + "\n")
+        sidecar_tmp.write_text(writer.digest.hexdigest() + "\n")
         os.replace(sidecar_tmp, sidecar)
     except OSError:
         resilience.note_fallback("disk_write")

@@ -665,6 +665,154 @@ def offline_sim_batch(
     return report
 
 
+#: Mixed online + offline/profile-guided arms the ``fused_sim`` stage
+#: sweeps by default — serving both families from one pass over the
+#: shared columns is the fused path's whole point.
+FUSED_BENCH_POLICIES = ("lru", "srrip", "ghrp", "belady", "flack",
+                        "furbys")
+
+
+def fused_sim_run(
+    app: str,
+    policies: Sequence[str] = FUSED_BENCH_POLICIES,
+    *,
+    trace_len: int = 20_000,
+    config: str = "zen3",
+    repeats: int = 3,
+) -> dict:
+    """Time one arm-fused sweep against the per-arm solo kernels.
+
+    All arms' policies are built once up front (excluded from both
+    timings, like the other sim stages); then:
+
+    * ``fused_s``   — :func:`repro.frontend.simd_fused.run_group` over
+      fresh pipelines for every arm, best of ``repeats``; ``stages``
+      carries the ``frontend_sim`` / ``sim_fused`` split.
+    * ``per_arm_s`` — the same arms through their individual
+      :meth:`FrontendPipeline.run` kernels, best of ``repeats``.
+
+    Both paths share the memoized trace columns, so the comparison is
+    pure sweep time.  Results are compared field by field; a fused
+    sweep that diverges from the per-arm kernels fails the bench.
+    """
+    from ..frontend import simd_fused
+
+    requests = [
+        RunRequest(app=app, policy=policy, trace_len=trace_len,
+                   config=config)
+        for policy in policies
+    ]
+    sim_config = requests[0].build_config()
+    trace = get_trace(app, requests[0].input_name, trace_len)
+    arms = [
+        _build_policy_and_hints(request, sim_config, trace)
+        for request in requests
+    ]
+
+    def _pipelines() -> list[FrontendPipeline]:
+        # Rebuilding re-attaches each policy, resetting per-run state.
+        return [
+            FrontendPipeline(sim_config, built_policy, hints=hints)
+            for built_policy, hints in arms
+        ]
+
+    fused_stats = None
+    fused_s = float("inf")
+    fused_stages: dict = {}
+    for _ in range(max(1, repeats)):
+        pipelines = _pipelines()
+        with stagetimer.capture() as run_stages:
+            started = perf_counter()
+            fused_stats = simd_fused.run_group(pipelines, trace, 0)
+            elapsed = perf_counter() - started
+        if elapsed < fused_s:
+            fused_s = elapsed
+            fused_stages = dict(run_stages)
+
+    per_arm_stats = None
+    per_arm_s = float("inf")
+    for _ in range(max(1, repeats)):
+        pipelines = _pipelines()
+        started = perf_counter()
+        per_arm_stats = [pipeline.run(trace) for pipeline in pipelines]
+        per_arm_s = min(per_arm_s, perf_counter() - started)
+
+    identical = (
+        [dataclasses.asdict(s) for s in fused_stats]
+        == [dataclasses.asdict(s) for s in per_arm_stats]
+    )
+    lookups = trace_len * len(policies)
+    return {
+        "app": app,
+        "policies": list(policies),
+        "arms": len(policies),
+        "trace_len": trace_len,
+        "fused_s": round(fused_s, 4),
+        "per_arm_s": round(per_arm_s, 4),
+        "fused_sim_lookups_per_s": round(lookups / fused_s, 1),
+        "speedup_vs_per_arm": round(per_arm_s / fused_s, 3),
+        "identical_results": identical,
+        "stages": {
+            stage: (round(v, 6) if isinstance(v, float) else v)
+            for stage, v in fused_stages.items()
+        },
+    }
+
+
+def fused_sim_batch(
+    apps: Sequence[str] = BENCH_APPS,
+    policies: Sequence[str] = FUSED_BENCH_POLICIES,
+    *,
+    trace_len: int = 20_000,
+    config: str = "zen3",
+    repeats: int = 3,
+) -> dict:
+    """Arm-fused sweep bench (``repro bench --stage fused_sim``).
+
+    One fused group per app (all ``policies`` as its arms) against the
+    per-arm kernels, plus an aggregate whose
+    ``fused_sim_lookups_per_s`` (total arm-lookups served over total
+    fused sweep time) the committed baseline gates via
+    :func:`check_baseline`.
+    """
+    results = [
+        fused_sim_run(
+            app, policies, trace_len=trace_len, config=config,
+            repeats=repeats,
+        )
+        for app in apps
+    ]
+    total_fused_s = sum(r["fused_s"] for r in results)
+    total_per_arm_s = sum(r["per_arm_s"] for r in results)
+    total_lookups = trace_len * len(policies) * len(results)
+    stage_totals: dict[str, float | int] = {}
+    for r in results:
+        for stage, v in r["stages"].items():
+            stage_totals[stage] = stage_totals.get(stage, 0) + v
+    aggregate = {
+        "runs": len(results),
+        "arms": len(policies),
+        "trace_len": trace_len,
+        "total_lookups": total_lookups,
+        "fused_s": round(total_fused_s, 4),
+        "per_arm_s": round(total_per_arm_s, 4),
+        "fused_sim_lookups_per_s": (
+            round(total_lookups / total_fused_s, 1) if total_fused_s
+            else None
+        ),
+        "speedup_vs_per_arm": (
+            round(total_per_arm_s / total_fused_s, 3) if total_fused_s
+            else None
+        ),
+        "identical_results": all(r["identical_results"] for r in results),
+        "stages": {
+            stage: (round(v, 4) if isinstance(v, float) else v)
+            for stage, v in stage_totals.items()
+        },
+    }
+    return {"results": results, "aggregate": aggregate}
+
+
 def profile_run(
     app: str,
     policy: str = "lru",
@@ -703,51 +851,50 @@ def check_baseline(
 ) -> tuple[bool, str]:
     """Compare a microbench aggregate against a committed baseline.
 
-    Fails when the measured ``lookups_per_s`` falls more than
+    Fails when any throughput both sides carry falls more than
     ``tolerance`` below the baseline's, or when any run's results
     diverged from the reference loop.  The default 30% slack absorbs
     shared-runner noise while still catching a real hot-path
     regression (the optimizations this guards are each >30%).
 
-    When the baseline also carries ``policy_build_lookups_per_s``,
-    ``trace_build_lookups_per_s`` or ``offline_sim_lookups_per_s``,
-    the policy-construction, trace-construction and offline-kernel
-    throughputs are gated by the same rule, so none of the fast-path
-    machinery this repo builds artifacts, traces and offline runs with
-    can silently regress either.
+    The gated throughputs are ``lookups_per_s`` (fast pipeline loop),
+    ``policy_build_lookups_per_s``, ``trace_build_lookups_per_s``,
+    ``offline_sim_lookups_per_s`` and ``fused_sim_lookups_per_s`` —
+    keys absent from either side are skipped, so one committed
+    baseline file serves both the ``--micro`` aggregate and the
+    per-stage aggregates (``--stage offline_sim`` / ``fused_sim``),
+    each of which carries its own subset.
     """
-    if not aggregate["identical_results"]:
+    if not aggregate.get("identical_results", True):
         return False, "microbench: fast loop diverged from the reference loop"
-    floor = baseline["lookups_per_s"] * (1.0 - tolerance)
-    current = aggregate["lookups_per_s"]
-    if current < floor:
-        return False, (
-            f"microbench: {current:.0f} lookups/s is below the regression "
-            f"floor {floor:.0f} (baseline {baseline['lookups_per_s']:.0f} "
-            f"- {tolerance:.0%})"
-        )
-    message = (
-        f"microbench: {current:.0f} lookups/s >= floor {floor:.0f} "
-        f"(baseline {baseline['lookups_per_s']:.0f} - {tolerance:.0%})"
-    )
+    parts = []
     for key, label in (
+        ("lookups_per_s", ""),
         ("policy_build_lookups_per_s", "policy build"),
         ("trace_build_lookups_per_s", "trace build"),
         ("offline_sim_lookups_per_s", "offline sim"),
+        ("fused_sim_lookups_per_s", "fused sim"),
     ):
         baseline_rate = baseline.get(key)
         current_rate = aggregate.get(key)
         if not baseline_rate or current_rate is None:
             continue
         rate_floor = baseline_rate * (1.0 - tolerance)
+        prefix = f"{label} at " if label else ""
         if current_rate < rate_floor:
             return False, (
-                f"microbench: {label} at {current_rate:.0f} lookups/s "
+                f"microbench: {prefix}{current_rate:.0f} lookups/s "
                 f"is below the regression floor {rate_floor:.0f} "
                 f"(baseline {baseline_rate:.0f} - {tolerance:.0%})"
             )
-        message += (
-            f"; {label} {current_rate:.0f} lookups/s >= floor "
-            f"{rate_floor:.0f}"
+        shown = f"{label} " if label else ""
+        parts.append(
+            f"{shown}{current_rate:.0f} lookups/s >= floor {rate_floor:.0f} "
+            f"(baseline {baseline_rate:.0f} - {tolerance:.0%})"
         )
-    return True, message
+    if not parts:
+        return False, (
+            "microbench: the aggregate and baseline share no throughput "
+            "keys to compare"
+        )
+    return True, "microbench: " + "; ".join(parts)

@@ -139,6 +139,9 @@ class FaultReport:
     #: (the results are bit-identical, only slower), so excluded from
     #: :attr:`total_faults`.
     sim_fallbacks: dict = field(default_factory=dict)
+    #: ``sim_fused:<what>`` -> count: requests/groups served by the
+    #: arm-fused sweep (informational; bit-identical, only faster).
+    fused: dict = field(default_factory=dict)
     #: Itemized skipped/failed requests: ``{"request", "error", "attempts"}``.
     failures: list = field(default_factory=list)
 
@@ -153,6 +156,8 @@ class FaultReport:
                 self.sim_fallbacks[name] = (
                     self.sim_fallbacks.get(name, 0) + count
                 )
+            elif name.startswith("sim_fused:"):
+                self.fused[name] = self.fused.get(name, 0) + count
             else:
                 self.fallbacks[name] = self.fallbacks.get(name, 0) + count
                 self.degraded_fallbacks += count
@@ -178,7 +183,12 @@ class FaultReport:
 #   corrupt_artifact  a disk artifact failed validation (quarantined)
 #   sim_fallback:<policy>:<reason>
 #                   a simulation ran the reference loop instead of a
-#                   vectorized kernel (bit-identical, only slower)
+#                   vectorized kernel (bit-identical, only slower);
+#                   <policy> is "fused" when an arm-fused group sweep
+#                   rerouted to the per-arm path
+#   sim_fused:served / sim_fused:groups
+#                   requests / groups the arm-fused sweep completed
+#                   (bit-identical, only faster)
 
 _counters: dict[str, int] = {}
 

@@ -144,12 +144,28 @@ _thermo_cache: dict[str, dict[int, int]] = {}
 
 
 def clear_memory_cache() -> None:
-    """Drop in-process memoized results (tests use this)."""
+    """Drop every in-process memoized layer (tests use this).
+
+    Beyond the result/profile/artifact/trace caches this also evicts
+    the simd column-pass memos still held by live traces (the registry
+    LRU keeps traces alive for callers holding references, so their
+    ``_derived`` entries would otherwise survive a "cache clear") and
+    the compiled specialized-segment caches, fused drivers included.
+    Each eviction is counted — ``repro trace inspect --cache-stats``
+    reports the cumulative totals.
+    """
+    from ..core.trace import drop_simd_memos
+    from ..frontend import simd, simd_fused, simd_offline
+
     _memory_cache.clear()
     _profile_cache.clear()
     _thermo_cache.clear()
     clear_artifact_caches()
     clear_trace_cache()
+    drop_simd_memos()
+    simd.clear_segment_cache()
+    simd_offline.clear_segment_caches()
+    simd_fused.clear_fused_caches()
 
 
 # --- policy construction -----------------------------------------------------

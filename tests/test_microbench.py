@@ -1,7 +1,8 @@
 """Smoke tests for the per-stage microbenchmark harness."""
 
 from repro.harness.microbench import (
-    check_baseline, microbench_batch, microbench_run, profile_run,
+    check_baseline, fused_sim_batch, microbench_batch, microbench_run,
+    profile_run,
 )
 
 
@@ -61,6 +62,33 @@ class TestCheckBaseline:
             {"lookups_per_s": 1.0},
         )
         assert not ok and "diverged" in message
+
+    def test_fused_floor_gated_when_both_sides_carry_it(self):
+        ok, message = check_baseline(
+            {"fused_sim_lookups_per_s": 60.0, "identical_results": True},
+            {"lookups_per_s": 100.0, "fused_sim_lookups_per_s": 100.0},
+            tolerance=0.30,
+        )
+        assert not ok and "fused sim" in message and "below" in message
+
+    def test_disjoint_keys_fail_instead_of_passing_vacuously(self):
+        ok, message = check_baseline(
+            {"fused_sim_lookups_per_s": 1e9, "identical_results": True},
+            {"lookups_per_s": 100.0},
+        )
+        assert not ok and "no throughput keys" in message
+
+
+class TestFusedSimStage:
+    def test_fused_sweep_matches_per_arm_kernels(self):
+        report = fused_sim_batch(
+            ("kafka",), ("lru", "belady"), trace_len=800, repeats=1
+        )
+        aggregate = report["aggregate"]
+        assert aggregate["identical_results"] is True
+        assert aggregate["total_lookups"] == 1600
+        assert aggregate["fused_sim_lookups_per_s"] > 0
+        assert report["results"][0]["arms"] == 2
 
 
 def test_profile_run_reports_hot_functions():

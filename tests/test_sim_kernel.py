@@ -187,4 +187,5 @@ def test_clear_memory_cache_releases_trace_memos():
     del trace
     _cold()
     gc.collect()
-    assert memo_census() == {"traces": 0, "entries": 0}
+    census = memo_census()
+    assert (census["traces"], census["entries"]) == (0, 0)
