@@ -15,8 +15,12 @@ Examples::
     repro bench --stage fused_sim      # arm-fused sweep vs per-arm kernels
     repro bench --profile      # cProfile one cold run
     repro bench --chaos        # fault-injection smoke (crash/hang/corrupt)
+    repro bench --chaos-resume # SIGKILL an experiment mid-run, resume it
     repro fig8 --on-error skip # keep partial results on worker failures
     repro trace inspect t.bin  # trace files: inspect / convert / gen
+    repro experiments run fig8 # record the run in the durable ledger
+    repro experiments resume 3 # replay only the missing requests
+    repro query delta 3 7      # per-request metric deltas between runs
     repro all                  # everything (long)
 """
 
@@ -45,6 +49,13 @@ def _bench(args: argparse.Namespace) -> int:
     policies = (
         tuple(args.policies.split(",")) if args.policies else BENCH_POLICIES
     )
+
+    if args.chaos_resume:
+        from .harness.bench import chaos_resume_proof
+
+        outcome = chaos_resume_proof()
+        print(json.dumps(outcome, indent=2))
+        return 0 if outcome["passed"] else 1
 
     if args.chaos:
         kwargs = {}
@@ -211,6 +222,12 @@ def main(argv: list[str] | None = None) -> int:
         from .tools.trace_tool import main as trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] in ("experiments", "query"):
+        # The durable experiment ledger (record / resume / query) also
+        # has its own subcommand tree.
+        from .tools.ledger_tool import main as ledger_main
+
+        return ledger_main(argv)
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce the FLACK/FURBYS micro-op cache replacement "
@@ -255,6 +272,13 @@ def main(argv: list[str] | None = None) -> int:
         help="bench only: fault-injection smoke — inject a worker crash, "
              "a hang and a corrupt cache artifact into a batch and verify "
              "bit-identical results vs a clean serial run",
+    )
+    parser.add_argument(
+        "--chaos-resume", action="store_true",
+        help="bench only: end-to-end ledger proof — SIGKILL a recorded "
+             "experiment mid-batch (plus a worker crash, a hang and a "
+             "torn ledger row), resume it, and verify bit-identical "
+             "stats with zero re-execution of journaled requests",
     )
     parser.add_argument(
         "--profile", action="store_true",

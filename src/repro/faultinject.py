@@ -15,11 +15,18 @@ Spec grammar (``REPRO_FAULT_SPEC``, ``;``-separated faults)::
                               per-chunk timeout fires
     task:<n>:raise            worker task #n raises FaultInjectionError
     artifact:<kind>:corrupt   garble the next <kind>-artifact file read
-                              (kind: stats|hitstats|profile|trace)
+                              (kind: stats|hitstats|profile|trace|ledger)
     shm:attach:fail           the next worker shared-memory attach fails
     fused:group:raise         the next arm-fused group sweep raises before
                               simulating, so the batch reroutes the group
                               to the per-arm path
+    exp:<n>:kill              SIGKILL the experiment process the moment
+                              its ledger journal commits result #n — the
+                              durable analog of task:crash (the process
+                              dies with journaled chunks on disk)
+    ledger:rows:corrupt       garble one journaled result row in the
+                              experiment ledger before the next resume
+                              verifies it (simulating a torn DB write)
 
 Task numbers count the batch's cold (post-dedup, post-cache-probe)
 requests in submission order, so a spec names the same simulation every
@@ -31,18 +38,21 @@ already claimed and completes normally.  Point ``REPRO_FAULT_STATE`` at
 a fresh directory per chaos run; when unset, a spec-keyed directory
 under the system temp dir is used (stale claims from a previous run
 with the same spec then suppress refiring — fine for tests, which pass
-an explicit directory).
+an explicit directory).  :func:`reset` removes the claim files of every
+plan this process has seen, so chaos runs do not leak ``*.fired``
+markers into the temp dir.
 
-Faults only arm inside pool workers and the artifact/shm/fused-sweep
-paths; the plain per-arm serial execution path never injects, so a
-fault-free serial run is always available as the bit-identity
-reference.
+Faults only arm inside pool workers, the artifact/shm/fused-sweep
+paths, and the experiment-ledger journal/resume hooks; the plain
+per-arm serial execution path never injects, so a fault-free serial
+run is always available as the bit-identity reference.
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
+import signal
 import tempfile
 import time
 from dataclasses import dataclass
@@ -54,9 +64,12 @@ __all__ = [
     "FaultPlan",
     "active_plan",
     "maybe_corrupt_artifact",
+    "maybe_corrupt_ledger_rows",
     "maybe_fail_fused_group",
     "maybe_fail_shm_attach",
+    "maybe_kill_experiment",
     "on_worker_task",
+    "reset",
     "reset_plan_cache",
 ]
 
@@ -64,7 +77,7 @@ __all__ = [
 #: magic-sniffing in Trace.load_any, invalid in every format.
 _GARBAGE = b"\x00repro-fault-injected-corruption\xff" * 4
 
-ARTIFACT_KINDS = ("stats", "hitstats", "profile", "trace")
+ARTIFACT_KINDS = ("stats", "hitstats", "profile", "trace", "ledger")
 
 
 @dataclass(frozen=True, slots=True)
@@ -102,6 +115,8 @@ def _parse_fault(text: str) -> _Fault:
         "artifact": ("corrupt",),
         "shm": ("fail",),
         "fused": ("raise",),
+        "exp": ("kill",),
+        "ledger": ("corrupt",),
     }
     if kind not in valid:
         raise FaultInjectionError(f"unknown fault kind {kind!r} in {text!r}")
@@ -109,12 +124,12 @@ def _parse_fault(text: str) -> _Fault:
         raise FaultInjectionError(
             f"fault kind {kind!r} does not support action {action!r}"
         )
-    if kind == "task":
+    if kind in ("task", "exp"):
         try:
             int(target)
         except ValueError as exc:
             raise FaultInjectionError(
-                f"task fault needs an integer index, got {target!r}"
+                f"{kind} fault needs an integer index, got {target!r}"
             ) from exc
     if kind == "artifact" and target not in ARTIFACT_KINDS:
         raise FaultInjectionError(
@@ -205,6 +220,49 @@ class FaultPlan:
                     return True
         return False
 
+    def kill_experiment(self, recorded: int) -> None:
+        """SIGKILL this process once ``recorded`` reaches the threshold.
+
+        A real SIGKILL (not an exception): finally-blocks, heartbeat
+        threads and the SQLite connection all die with the process,
+        exactly like an OOM kill mid-experiment.
+        """
+        for fault in self.faults:
+            if fault.kind != "exp" or fault.action != "kill":
+                continue
+            if recorded < int(fault.target):
+                continue
+            if self._claim(fault):
+                os.kill(os.getpid(), signal.SIGKILL)
+
+    def corrupt_ledger_rows(self, connection, experiment_id: int) -> bool:
+        """Garble one journaled result row of ``experiment_id``.
+
+        Emulates a torn write inside the ledger DB file: the row still
+        exists but its stats payload no longer matches its sha256, so
+        the resume path must detect and re-execute it.
+        """
+        for fault in self.faults:
+            if fault.kind != "ledger" or fault.action != "corrupt":
+                continue
+            if not self._claim(fault):
+                continue
+            row = connection.execute(
+                "SELECT idx FROM requests WHERE experiment_id = ? "
+                "AND status = 'done' ORDER BY idx LIMIT 1",
+                (experiment_id,),
+            ).fetchone()
+            if row is None:
+                return False
+            connection.execute(
+                "UPDATE requests SET stats = ? "
+                "WHERE experiment_id = ? AND idx = ?",
+                (_GARBAGE.decode("latin1"), experiment_id, row[0]),
+            )
+            connection.commit()
+            return True
+        return False
+
 
 # The plan is cached per (spec, state) pair so the hot hooks cost one
 # env read + tuple scan; tests flip the env mid-process, hence the key.
@@ -213,6 +271,35 @@ _plan_cache: dict[tuple[str, str], FaultPlan | None] = {}
 
 def reset_plan_cache() -> None:
     """Drop the memoized plan (tests that rewrite the env use this)."""
+    _plan_cache.clear()
+
+
+def reset() -> None:
+    """Remove once-per-fault claim files and drop the plan cache.
+
+    Chaos runs that leave ``REPRO_FAULT_STATE`` unset claim their
+    faults in a spec-keyed directory under the system temp dir; without
+    cleanup those ``*.fired`` markers leak and suppress re-injection on
+    the next run with the same spec.  This clears the state of every
+    plan this process has instantiated plus the currently active one,
+    then drops the plan cache.  Only the claim markers are removed —
+    the directory itself is deleted only once empty, so an explicitly
+    configured state dir shared with other files is left alone.
+    """
+    plans = {plan for plan in _plan_cache.values() if plan is not None}
+    current = active_plan()
+    if current is not None:
+        plans.add(current)
+    for plan in plans:
+        try:
+            for claim in plan.state_dir.glob("*.fired"):
+                claim.unlink(missing_ok=True)
+        except OSError:  # pragma: no cover - unreadable state dir
+            continue
+        try:
+            plan.state_dir.rmdir()
+        except OSError:
+            pass  # non-empty or already gone; either is fine
     _plan_cache.clear()
 
 
@@ -256,3 +343,18 @@ def maybe_fail_fused_group() -> None:
     plan = active_plan()
     if plan is not None and plan.fail_fused_group():
         raise FaultInjectionError("injected fused group sweep failure")
+
+
+def maybe_kill_experiment(recorded: int) -> None:
+    """Hook: an experiment journal just committed its ``recorded``-th result."""
+    plan = active_plan()
+    if plan is not None:
+        plan.kill_experiment(recorded)
+
+
+def maybe_corrupt_ledger_rows(connection, experiment_id: int) -> bool:
+    """Hook: journaled ledger rows are about to be verified for resume."""
+    plan = active_plan()
+    if plan is None:
+        return False
+    return plan.corrupt_ledger_rows(connection, experiment_id)

@@ -111,8 +111,11 @@ def load_validated_json(path: Path, kind: str) -> dict:
 
     Raises :class:`~repro.errors.ArtifactError` (after quarantining the
     file) for unreadable, unparseable or checksum-failing entries.
-    Entries written before checksums carry no ``sha256`` field and are
-    accepted as-is.
+    Entries written before checksums carry no ``sha256`` field; rather
+    than accepting them unverified forever, they are upgraded in place
+    — rewritten atomically with an embedded checksum (counted as
+    ``note:cache_upgraded``) so integrity checking applies from the
+    next read onward.
     """
     faultinject.maybe_corrupt_artifact(path, kind)
     try:
@@ -127,7 +130,10 @@ def load_validated_json(path: Path, kind: str) -> dict:
     except ValueError as exc:
         raise quarantine(path, f"invalid JSON ({exc})") from exc
     expected = payload.get("sha256")
-    if expected is not None and _payload_checksum(payload) != expected:
+    if expected is None:
+        _store_json(path, payload)
+        resilience.note_fallback("note:cache_upgraded")
+    elif _payload_checksum(payload) != expected:
         raise quarantine(path, f"{kind} checksum mismatch")
     return payload
 
@@ -156,12 +162,6 @@ def _trace_sidecar(path: Path) -> Path:
     return path.with_name(path.name + ".sha256")
 
 
-def _file_checksum(path: Path) -> str:
-    """sha256 of a file's bytes, streamed in bounded chunks."""
-    with open(path, "rb") as handle:
-        return hashlib.file_digest(handle, "sha256").hexdigest()
-
-
 class _HashingWriter:
     """Tee writer: forwards to a stream while folding a sha256.
 
@@ -177,6 +177,34 @@ class _HashingWriter:
     def write(self, data) -> int:
         self.digest.update(data)
         return self._handle.write(data)
+
+
+class _HashingReader:
+    """Tee reader: forwards reads while folding a sha256.
+
+    The mirror of :class:`_HashingWriter` for the load side: the
+    chunked v2 trace parse consumes the file through this tee, so the
+    ``*.sha256`` sidecar is verified over exactly the bytes parsed in
+    the same single streaming pass — no separate whole-file checksum
+    read, and no window for the file to change between the checksum
+    pass and the parse.
+    """
+
+    def __init__(self, handle):
+        self._handle = handle
+        self.digest = hashlib.sha256()
+
+    def read(self, size: int = -1) -> bytes:
+        data = self._handle.read(size)
+        if data:
+            self.digest.update(data)
+        return data
+
+    def drain(self) -> None:
+        """Fold any bytes past the parsed payload (there should be none,
+        but the sidecar covers the whole file)."""
+        while self.read(1 << 20):
+            pass
 
 
 def load_cached_trace(
@@ -206,12 +234,16 @@ def load_cached_trace(
     except OSError:
         expected = None
     try:
-        # Both the checksum and the parse stream the file in bounded
-        # chunks — a 10M-lookup trace never exists as one bytes object.
-        if expected and _file_checksum(path) != expected:
-            raise ArtifactError("binary trace checksum mismatch")
+        # The parse streams the file in bounded chunks — a 10M-lookup
+        # trace never exists as one bytes object — and the tee reader
+        # folds the sidecar checksum over those same chunked reads, so
+        # verification costs no second pass over the file.
         with open(path, "rb") as handle:
-            trace = Trace.parse_binary(handle)
+            reader = _HashingReader(handle)
+            trace = Trace.parse_binary(reader)
+            reader.drain()
+        if expected and reader.digest.hexdigest() != expected:
+            raise ArtifactError("binary trace checksum mismatch")
         if len(trace) != n_lookups or trace.metadata.app != app:
             raise ArtifactError(
                 f"binary trace identity mismatch (app={trace.metadata.app!r}, "

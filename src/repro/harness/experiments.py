@@ -13,6 +13,7 @@ paper-vs-measured record.
 from __future__ import annotations
 
 import os
+import time
 from collections import defaultdict
 
 from ..config import preset
@@ -1018,3 +1019,65 @@ EXPERIMENTS = {
     "abl-online-scale": abl_online_scale,
     "abl-offline-scale": abl_offline_scale,
 }
+
+
+def run_recorded(
+    figure: str,
+    *,
+    ledger: str | None = None,
+    name: str | None = None,
+    note: str = "",
+    apps: tuple[str, ...] | None = None,
+    policies: tuple[str, ...] | None = None,
+    trace_len: int | None = None,
+) -> dict:
+    """Run one experiment under a durable ledger recording.
+
+    Every ``run_many`` issued by the experiment journals into a new
+    ledger row (see :mod:`repro.harness.ledger`); the returned summary
+    carries the experiment id so ``repro experiments resume <id>`` can
+    pick up an interrupted run.  ``figure`` is any :data:`EXPERIMENTS`
+    key, or the special name ``"bench"`` — a representative
+    app x policy grid (honouring ``apps``/``policies``/``trace_len``)
+    that the chaos-resume proof and tests use as a fast, figure-shaped
+    workload.
+    """
+    from .ledger import ExperimentRun
+
+    if figure != "bench" and figure not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {figure!r}; try 'repro list' or 'bench'"
+        )
+    started = time.perf_counter()
+    with ExperimentRun(name or figure, path=ledger, note=note) as record:
+        if figure == "bench":
+            from .bench import BENCH_APPS, BENCH_POLICIES, representative_requests
+
+            requests = representative_requests(
+                apps=apps or BENCH_APPS,
+                policies=policies or BENCH_POLICIES,
+                trace_len=trace_len,
+            )
+            run_many(requests)
+            result = None
+        else:
+            result = EXPERIMENTS[figure]()
+    from .parallel import last_batch_report
+
+    report = last_batch_report()
+    summary = {
+        "id": record.experiment_id,
+        "name": name or figure,
+        "state": record.state,
+        "elapsed_s": round(time.perf_counter() - started, 3),
+    }
+    if record.ledger is None:
+        summary["state"] = "unrecorded (REPRO_LEDGER=0)"
+    if report is not None:
+        summary["requests"] = report.requests
+        summary["unique"] = report.unique
+        summary["executed"] = report.executed
+        summary["faults"] = report.faults.to_json()
+    if result is not None:
+        summary["result"] = result
+    return summary

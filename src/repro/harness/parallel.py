@@ -68,6 +68,13 @@ down (hung processes terminated) and its requests re-enter the retry
 loop.  Deterministic chaos coverage for all of this lives in
 ``tests/test_resilience.py`` and ``repro bench --chaos``, driven by
 :mod:`repro.faultinject`.
+
+When an experiment recording context is active
+(:mod:`repro.harness.ledger`, installed by ``repro experiments
+run/resume``), the batch additionally journals durably: unique
+requests are registered in the ledger up front and every landed chunk
+is committed as one atomic SQLite transaction, so a process killed
+mid-batch can be resumed with only its missing requests re-executed.
 """
 
 from __future__ import annotations
@@ -88,6 +95,7 @@ from ..core.trace import Trace, TraceColumns, TraceMetadata, trace_fastpath_enab
 from ..errors import FaultInjectionError, ReproError, TraceError
 from ..frontend import simd_fused
 from . import resilience
+from .ledger import active_journal
 from .resilience import FaultReport, RetryPolicy
 from .runner import RunRequest, _memory_cache, cached_stats, run, store_stats
 
@@ -514,6 +522,7 @@ class _PoolExecutor:
         retry_policy: RetryPolicy,
         timeout_s: float | None,
         results: dict[str, SimulationStats | None],
+        journal=None,
     ):
         self.tasks = [
             _PendingTask(key=key, request=request, index=i)
@@ -525,6 +534,7 @@ class _PoolExecutor:
         self.retry_policy = retry_policy
         self.timeout_s = timeout_s
         self.results = results
+        self.journal = journal
         self.serial_queue: list[_PendingTask] = []
 
     # -- failure classification ------------------------------------------------
@@ -573,6 +583,8 @@ class _PoolExecutor:
         store_stats(task.request, stats, task.key)
         self.results[task.key] = stats
         task.state = "done"
+        if self.journal is not None:
+            self.journal.record(task.key, task.request, stats)
 
     # -- rounds ---------------------------------------------------------------
 
@@ -640,6 +652,11 @@ class _PoolExecutor:
                             self._note_attempt_failure(
                                 task, payload["type"], payload["traceback"]
                             )
+                    if self.journal is not None:
+                        # One atomic ledger transaction per landed chunk:
+                        # a SIGKILL between chunks loses at most the
+                        # in-flight chunk, never a committed one.
+                        self.journal.commit()
                 if pool_broken:
                     abandon = True
                 elif not_done and self.timeout_s:
@@ -706,8 +723,12 @@ class _PoolExecutor:
                 min(self.retry_policy.delay_for(task.attempts, task.key), 1.0)
             )
             try:
-                self.results[task.key] = run(task.request)
+                stats = run(task.request)
+                self.results[task.key] = stats
                 task.state = "done"
+                if self.journal is not None:
+                    self.journal.record(task.key, task.request, stats)
+                    self.journal.commit()
             except Exception as exc:
                 task.attempts += 1
                 task.error_type = type(exc).__name__
@@ -750,13 +771,18 @@ def _run_serial(
     on_error: str,
     retry_policy: RetryPolicy,
     results: dict[str, SimulationStats | None],
+    journal=None,
 ) -> None:
     for key, request in cold:
         attempts = 0
         while True:
             attempts += 1
             try:
-                results[key] = run(request)
+                stats = run(request)
+                results[key] = stats
+                if journal is not None:
+                    journal.record(key, request, stats)
+                    journal.commit()
                 break
             except Exception as exc:
                 detail = traceback.format_exc()
@@ -818,6 +844,13 @@ def run_batch(
         unique.setdefault(key, request)
     report.unique = len(unique)
 
+    # When an experiment recording context is active (repro experiments
+    # run/resume), every unique request is registered up front and each
+    # landed chunk is journaled — see repro.harness.ledger.
+    journal = active_journal()
+    if journal is not None:
+        journal.register(list(unique.items()))
+
     # 2. serve cache hits inline.
     results: dict[str, SimulationStats | None] = {}
     cold: list[tuple[str, RunRequest]] = []
@@ -830,9 +863,13 @@ def run_batch(
                 report.memory_hits += 1
             else:
                 report.disk_hits += 1
+            if journal is not None:
+                journal.record(key, request, stats)
         else:
             cold.append((key, request))
     report.executed = len(cold)
+    if journal is not None:
+        journal.commit()
 
     # 3. execute the cold remainder (serial fallback or process fan-out),
     # 4. writing worker results back into both cache layers here.  The
@@ -840,12 +877,20 @@ def run_batch(
     # run it per chunk inside _simulate_chunk.
     if cold and jobs == 1:
         cold = _fused_prepass(cold, results)
+        if journal is not None:
+            for key, stats in results.items():
+                if stats is not None:
+                    journal.record(key, unique[key], stats)
+            journal.commit()
         if cold:
-            _run_serial(cold, report, on_error, retry_policy, results)
+            _run_serial(cold, report, on_error, retry_policy, results, journal)
     elif cold:
         _PoolExecutor(
-            cold, jobs, report, on_error, retry_policy, timeout_s, results
+            cold, jobs, report, on_error, retry_policy, timeout_s, results,
+            journal,
         ).execute()
+    if journal is not None:
+        journal.commit()
 
     # Parent-side graceful degradations during this batch (quarantined
     # cache entries, failed disk writes, shm export issues) land in the

@@ -38,6 +38,41 @@ def format_table(
     return "\n".join(lines)
 
 
+def render_rows(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    fmt: str = "table",
+    *,
+    title: str | None = None,
+) -> str:
+    """Render rows as ``table`` (aligned ASCII), ``csv``, or ``json``.
+
+    The ledger query CLI funnels every listing through this so the same
+    rows can feed a terminal, a spreadsheet, or a script.  ``json``
+    emits a list of objects keyed by header; ``csv`` quotes per RFC via
+    the stdlib writer.  ``title`` is only used by the table format.
+    """
+    if fmt == "table":
+        return format_table(headers, rows, title=title)
+    materialized = [list(row) for row in rows]
+    if fmt == "csv":
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(headers)
+        writer.writerows(materialized)
+        return buffer.getvalue().rstrip("\n")
+    if fmt == "json":
+        import json
+
+        return json.dumps(
+            [dict(zip(headers, row)) for row in materialized], indent=2
+        )
+    raise ValueError(f"unknown format {fmt!r}; expected table, csv, or json")
+
+
 def bar_chart(
     items: Sequence[tuple[str, float]],
     *,

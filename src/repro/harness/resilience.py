@@ -142,6 +142,10 @@ class FaultReport:
     #: ``sim_fused:<what>`` -> count: requests/groups served by the
     #: arm-fused sweep (informational; bit-identical, only faster).
     fused: dict = field(default_factory=dict)
+    #: ``note:<what>`` -> count: observability notes that are not
+    #: degradations (a legacy cache entry upgraded in place, a stale
+    #: RUNNING experiment taken over); excluded from :attr:`total_faults`.
+    notes: dict = field(default_factory=dict)
     #: Itemized skipped/failed requests: ``{"request", "error", "attempts"}``.
     failures: list = field(default_factory=list)
 
@@ -158,6 +162,8 @@ class FaultReport:
                 )
             elif name.startswith("sim_fused:"):
                 self.fused[name] = self.fused.get(name, 0) + count
+            elif name.startswith("note:"):
+                self.notes[name] = self.notes.get(name, 0) + count
             else:
                 self.fallbacks[name] = self.fallbacks.get(name, 0) + count
                 self.degraded_fallbacks += count
@@ -189,6 +195,14 @@ class FaultReport:
 #   sim_fused:served / sim_fused:groups
 #                   requests / groups the arm-fused sweep completed
 #                   (bit-identical, only faster)
+#   ledger_write    an experiment-ledger write failed (the run proceeds,
+#                   that chunk is simply not journaled)
+#   note:cache_upgraded
+#                   a legacy checksum-less JSON cache entry was
+#                   rewritten with an embedded sha256 on read
+#   note:ledger_takeover
+#                   a stale RUNNING experiment was marked INTERRUPTED
+#                   and taken over by a resume
 
 _counters: dict[str, int] = {}
 

@@ -117,6 +117,16 @@ class RunRequest:
         text = json.dumps(payload, sort_keys=True, default=list)
         return hashlib.sha256(text.encode()).hexdigest()[:24]
 
+    @classmethod
+    def from_json(cls, payload: dict) -> "RunRequest":
+        """Rebuild a request from its JSON form (the experiment ledger
+        stores requests with resolved trace geometry, so the rebuilt
+        request hashes to the same cache key in any environment)."""
+        data = dict(payload)
+        for name in ("perfect", "profile_inputs"):
+            data[name] = tuple(data.get(name) or ())
+        return cls(**data)
+
 
 @dataclass(slots=True)
 class RunResult:

@@ -265,16 +265,26 @@ class TestQuarantine:
         delta = resilience.counters_since(before)
         assert delta.get("corrupt_artifact", 0) >= 1
 
-    def test_legacy_entry_without_checksum_is_accepted(
+    def test_legacy_entry_without_checksum_is_upgraded(
         self, tmp_path, monkeypatch
     ):
+        from repro.harness import resilience
+
         request, path = self._entry(tmp_path, monkeypatch)
         payload = json.loads(path.read_text())
         del payload["sha256"]
         path.write_text(json.dumps(payload))
         clear_memory_cache()
+        before = resilience.global_counters()
         assert run(request).uops_total > 0
         assert not (tmp_path / f"{path.name}.corrupt").exists()
+        upgraded = json.loads(path.read_text())
+        assert upgraded["sha256"]  # rewritten in place with a checksum
+        delta = resilience.counters_since(before)
+        assert delta.get("note:cache_upgraded", 0) == 1
+        # The upgraded entry must now pass full verification.
+        clear_memory_cache()
+        assert run(request).uops_total > 0
 
     def test_undecodable_payload_is_quarantined(self, tmp_path, monkeypatch):
         # Valid JSON, valid checksum, wrong shape: caught at decode time.

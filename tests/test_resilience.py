@@ -59,7 +59,9 @@ def _fault_hygiene(monkeypatch):
     faultinject.reset_plan_cache()
     resilience.reset_counters()
     yield
-    faultinject.reset_plan_cache()
+    # Full reset: drops the plan cache *and* removes the once-per-fault
+    # claim files, so a repeated spec re-injects in the next test.
+    faultinject.reset()
     resilience.reset_counters()
 
 
